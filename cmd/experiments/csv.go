@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+)
+
+// writeCSV renders a slice of flat structs as <dir>/<name>.csv with one
+// column per exported field, so the figures can be re-plotted with any
+// external tool.
+func writeCSV(dir, name string, rows any) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("writeCSV: %s: not a slice", name)
+	}
+	if v.Len() == 0 {
+		return fmt.Errorf("writeCSV: %s: no rows", name)
+	}
+	elemType := v.Index(0).Type()
+	if elemType.Kind() != reflect.Struct {
+		return fmt.Errorf("writeCSV: %s: not a slice of structs", name)
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+
+	var header []string
+	for i := 0; i < elemType.NumField(); i++ {
+		if elemType.Field(i).IsExported() {
+			header = append(header, elemType.Field(i).Name)
+		}
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for r := 0; r < v.Len(); r++ {
+		row := v.Index(r)
+		var rec []string
+		for i := 0; i < elemType.NumField(); i++ {
+			if !elemType.Field(i).IsExported() {
+				continue
+			}
+			rec = append(rec, formatField(row.Field(i)))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func formatField(fv reflect.Value) string {
+	switch fv.Kind() {
+	case reflect.Float64, reflect.Float32:
+		return strconv.FormatFloat(fv.Float(), 'g', -1, 64)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(fv.Int(), 10)
+	case reflect.Bool:
+		return strconv.FormatBool(fv.Bool())
+	case reflect.String:
+		return fv.String()
+	default:
+		return fmt.Sprintf("%v", fv.Interface())
+	}
+}

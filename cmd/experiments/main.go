@@ -1,0 +1,328 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section VII). Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md records a full run against the paper's
+// numbers.
+//
+// Usage:
+//
+//	experiments -run all            # every experiment at quick scale
+//	experiments -run fig10 -full    # one experiment at the paper's scale
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	name string
+	desc string
+	fn   func(experiments.Scale) error
+}
+
+func main() {
+	runName := flag.String("run", "all", "experiment to run (or 'all')")
+	full := flag.Bool("full", false, "use the paper's full-scale parameters")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.StringVar(&csvDir, "csv", "", "also write each experiment's rows as CSV into this directory")
+	flag.Parse()
+
+	runners := allRunners()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-9s %s\n", r.name, r.desc)
+		}
+		return
+	}
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	fmt.Printf("# scale: %s (campus %d, car %d samples)\n\n", scale.Name, scale.CampusN, scale.CarN)
+
+	var failed bool
+	for _, r := range runners {
+		if *runName != "all" && !strings.EqualFold(*runName, r.name) {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", r.name, r.desc)
+		if err := r.fn(scale); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// csvDir, when non-empty, receives one CSV file per executed experiment.
+var csvDir string
+
+// alsoCSV writes rows to csvDir when enabled.
+func alsoCSV(name string, rows any) error {
+	if csvDir == "" {
+		return nil
+	}
+	return writeCSV(csvDir, name, rows)
+}
+
+func allRunners() []runner {
+	return []runner{
+		{"tableII", "dataset summary (Table II)", runTableII},
+		{"fig4", "regions of changing volatility (Fig. 4)", runFig4},
+		{"fig5", "GARCH failure vs C-GARCH recovery on erroneous values (Fig. 5)", runFig5},
+		{"fig10", "density distance of the dynamic density metrics vs window size (Fig. 10)", runFig10},
+		{"fig11", "average inference time of the metrics vs window size (Fig. 11)", runFig11},
+		{"fig12", "effect of ARMA model order on density distance (Fig. 12)", runFig12},
+		{"fig13", "C-GARCH vs GARCH erroneous-value detection (Fig. 13)", runFig13},
+		{"fig14a", "view generation time, naive vs sigma-cache (Fig. 14a)", runFig14a},
+		{"fig14b", "sigma-cache size vs maximum ratio threshold (Fig. 14b)", runFig14b},
+		{"fig15", "time-varying volatility test Phi(m) vs chi-square (Fig. 15)", runFig15},
+	}
+}
+
+func runTableII(s experiments.Scale) error {
+	rows, err := experiments.TableII(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("tableII", rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %8s %-14s %-12s %10s %10s\n",
+		"dataset", "parameter", "values", "accuracy", "interval", "min", "max")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-12s %8d %-14s %-12s %10.2f %10.2f\n",
+			r.Name, r.Parameter, r.N, r.SensorAccuracy, r.SamplingInterval, r.Min, r.Max)
+	}
+	return nil
+}
+
+func runFig4(s experiments.Scale) error {
+	rows, err := experiments.Fig4(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig4", rows); err != nil {
+		return err
+	}
+	// Summarise: per dataset, the variance quartiles (the full series is a
+	// plot; the table shows the regime contrast).
+	byDS := map[string][]float64{}
+	for _, r := range rows {
+		byDS[r.Dataset] = append(byDS[r.Dataset], r.Variance)
+	}
+	fmt.Printf("%-8s %8s %12s %12s %12s\n", "dataset", "windows", "min var", "median var", "max var")
+	for _, ds := range []string{"campus", "car"} {
+		vs := byDS[ds]
+		sort.Float64s(vs)
+		fmt.Printf("%-8s %8d %12.4f %12.4f %12.4f\n",
+			ds, len(vs), vs[0], vs[len(vs)/2], vs[len(vs)-1])
+	}
+	fmt.Println("(high-vs-low contrast = the Region A / Region B structure of Fig. 4)")
+	return nil
+}
+
+func runFig5(s experiments.Scale) error {
+	rows, err := experiments.Fig5(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig5", rows); err != nil {
+		return err
+	}
+	fmt.Printf("%6s %9s %4s | %9s %9s %9s | %9s %9s %9s %s\n",
+		"t", "raw", "inj", "g.rhat", "g.lb", "g.ub", "c.rhat", "c.lb", "c.ub", "c.err")
+	for i, r := range rows {
+		// Print the interesting region: around injections and every 20th row.
+		if !r.Injected && i%20 != 0 && !near(rows, i) {
+			continue
+		}
+		inj := ""
+		if r.Injected {
+			inj = "<<<"
+		}
+		cerr := ""
+		if r.CGARCHErroneous {
+			cerr = "detected"
+		}
+		fmt.Printf("%6d %9.2f %4s | %9.2f %9.2f %9.2f | %9.2f %9.2f %9.2f %s\n",
+			r.T, r.Raw, inj, r.GARCHRHat, r.GARCHLB, r.GARCHUB,
+			r.CGARCHRHat, r.CGARCHLB, r.CGARCHUB, cerr)
+	}
+	return nil
+}
+
+// near reports whether index i is within 3 rows of an injection.
+func near(rows []experiments.Fig5Row, i int) bool {
+	for d := -3; d <= 3; d++ {
+		j := i + d
+		if j >= 0 && j < len(rows) && rows[j].Injected {
+			return true
+		}
+	}
+	return false
+}
+
+func runFig10(s experiments.Scale) error {
+	rows, err := experiments.Fig10(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig10", rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %4s %14s %14s %14s %14s\n", "dataset", "H", "UT", "VT", "ARMA-GARCH", "Kalman-GARCH")
+	printMetricGrid(len(s.Windows), s.Windows, rows, func(r experiments.Fig10Row) (string, int, string, float64) {
+		return r.Dataset, r.H, r.Metric, r.Distance
+	})
+	return nil
+}
+
+func runFig11(s experiments.Scale) error {
+	rows, err := experiments.Fig11(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig11", rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %4s %14s %14s %14s %14s   (seconds per inference)\n",
+		"dataset", "H", "UT", "VT", "ARMA-GARCH", "Kalman-GARCH")
+	printMetricGrid(len(s.Windows), s.Windows, rows, func(r experiments.Fig11Row) (string, int, string, float64) {
+		return r.Dataset, r.H, r.Metric, r.AvgInferSec
+	})
+	return nil
+}
+
+// printMetricGrid renders dataset x H rows with one column per metric.
+func printMetricGrid[T any](_ int, windows []int, rows []T, get func(T) (string, int, string, float64)) {
+	type cell struct {
+		ds string
+		h  int
+	}
+	grid := map[cell]map[string]float64{}
+	for _, r := range rows {
+		ds, h, metric, v := get(r)
+		k := cell{ds, h}
+		if grid[k] == nil {
+			grid[k] = map[string]float64{}
+		}
+		grid[k][metric] = v
+	}
+	for _, ds := range []string{"campus", "car"} {
+		for _, h := range windows {
+			m := grid[cell{ds, h}]
+			if m == nil {
+				continue
+			}
+			fmt.Printf("%-8s %4d %14.6f %14.6f %14.6f %14.6f\n",
+				ds, h, m["UT"], m["VT"], m["ARMA-GARCH"], m["Kalman-GARCH"])
+		}
+	}
+}
+
+func runFig12(s experiments.Scale) error {
+	rows, err := experiments.Fig12(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig12", rows); err != nil {
+		return err
+	}
+	grid := map[int]map[string]float64{}
+	for _, r := range rows {
+		if grid[r.P] == nil {
+			grid[r.P] = map[string]float64{}
+		}
+		grid[r.P][r.Metric] = r.Distance
+	}
+	fmt.Printf("%5s %14s %14s %14s\n", "p", "UT", "VT", "ARMA-GARCH")
+	for _, p := range s.ModelOrders {
+		m := grid[p]
+		fmt.Printf("%5d %14.4f %14.4f %14.4f\n", p, m["UT"], m["VT"], m["ARMA-GARCH"])
+	}
+	return nil
+}
+
+func runFig13(s experiments.Scale) error {
+	rows, err := experiments.Fig13(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig13", rows); err != nil {
+		return err
+	}
+	fmt.Printf("%8s %10s %18s %18s\n", "errors", "method", "captured (%)", "sec/value")
+	for _, r := range rows {
+		fmt.Printf("%8d %10s %18.1f %18.6f\n", r.ErrorCount, r.Method, r.PercentCaptured, r.AvgTimeSec)
+	}
+	return nil
+}
+
+func runFig14a(s experiments.Scale) error {
+	rows, err := experiments.Fig14a(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig14a", rows); err != nil {
+		return err
+	}
+	fmt.Printf("%10s %13s %13s %9s\n", "tuples", "naive (ms)", "cache (ms)", "speedup")
+	bys := map[int]map[string]experiments.Fig14aRow{}
+	var sizes []int
+	for _, r := range rows {
+		if bys[r.DBSize] == nil {
+			bys[r.DBSize] = map[string]experiments.Fig14aRow{}
+			sizes = append(sizes, r.DBSize)
+		}
+		bys[r.DBSize][r.Method] = r
+	}
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		n := bys[size]["naive"]
+		c := bys[size]["sigma-cache"]
+		fmt.Printf("%10d %13.2f %13.2f %8.1fx\n", size, n.TimeMS, c.TimeMS, c.Speedup)
+	}
+	return nil
+}
+
+func runFig14b(s experiments.Scale) error {
+	rows, err := experiments.Fig14b(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig14b", rows); err != nil {
+		return err
+	}
+	fmt.Printf("%12s %10s %14s\n", "max ratio Ds", "entries", "cache (KiB)")
+	for _, r := range rows {
+		fmt.Printf("%12.0f %10d %14.1f\n", r.MaxRatio, r.Entries, r.CacheKB)
+	}
+	fmt.Println("(entries grow by a constant per doubling of Ds: logarithmic scaling)")
+	return nil
+}
+
+func runFig15(s experiments.Scale) error {
+	rows, err := experiments.Fig15(s)
+	if err != nil {
+		return err
+	}
+	if err := alsoCSV("fig15", rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %3s %12s %12s %8s\n", "dataset", "m", "Phi(m)", "chi2_m(.05)", "reject")
+	for _, r := range rows {
+		fmt.Printf("%-8s %3d %12.2f %12.2f %8v\n", r.Dataset, r.M, r.Statistic, r.Critical, r.Reject)
+	}
+	return nil
+}

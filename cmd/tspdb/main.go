@@ -1,0 +1,152 @@
+// Command tspdb is an interactive shell (and one-shot runner) for the
+// probabilistic time-series database: import raw values from CSV, run
+// probabilistic view generation queries (Fig. 7 syntax), inspect results.
+//
+// Usage:
+//
+//	tspdb -load table=path.csv [-load table2=path2.csv] [-exec "QUERY"] [-out view.csv]
+//
+// Without -exec the tool reads statements from stdin, one per line.
+//
+// Example:
+//
+//	tspdb -load raw_values=campus.csv \
+//	      -exec "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=8 \
+//	             WINDOW 90 CACHE DISTANCE 0.01 FROM raw_values WHERE t >= 100 AND t <= 500" \
+//	      -out pv.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/view"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	flag.Var(&loads, "load", "table=csvfile pair; repeatable")
+	exec := flag.String("exec", "", "statement to execute (omit for interactive mode)")
+	out := flag.String("out", "", "write the created view as CSV to this file")
+	flag.Parse()
+
+	if err := run(loads, *exec, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tspdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(loads loadFlags, exec, out string) error {
+	engine := repro.NewEngine()
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -load %q (want table=path.csv)", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		s, err := repro.ReadSeriesCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := engine.RegisterSeries(name, s); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s: %d rows\n", name, s.Len())
+	}
+
+	if exec != "" {
+		return execute(engine, exec, out)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("tspdb: enter statements, one per line (Ctrl-D to quit)")
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return nil
+		}
+		if err := execute(engine, line, out); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func execute(engine *repro.Engine, stmt, out string) error {
+	res, err := engine.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	switch res.Kind {
+	case "view":
+		printViewSummary(res)
+		if out != "" {
+			if err := writeViewCSV(res.View, out); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	case "rows":
+		printRows(res.Columns, res.Rows)
+	default:
+		fmt.Println("ok")
+	}
+	fmt.Printf("(%s)\n", res.Elapsed.Round(10*time.Microsecond))
+	return nil
+}
+
+func printViewSummary(res *query.Result) {
+	v := res.View
+	fmt.Printf("created view %q: %d tuples x %d ranges = %d rows (metric %s, delta=%g)\n",
+		v.Name, len(v.Times()), v.Omega.N, len(v.Rows), v.MetricName, v.Omega.Delta)
+	if res.CacheStats != nil {
+		st := res.CacheStats
+		fmt.Printf("sigma-cache: %d entries, %d hits, %d misses, ~%d KiB\n",
+			st.Entries, st.Hits, st.Misses, st.ApproxBytes/1024)
+	}
+}
+
+func printRows(cols []string, rows [][]string) {
+	fmt.Println(strings.Join(cols, "\t"))
+	for _, r := range rows {
+		fmt.Println(strings.Join(r, "\t"))
+	}
+	fmt.Printf("%d row(s)\n", len(rows))
+}
+
+func writeViewCSV(p *storage.ProbTable, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	v := &view.View{Omega: p.Omega, Rows: p.Rows}
+	return v.WriteCSV(f)
+}

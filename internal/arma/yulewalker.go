@@ -1,0 +1,124 @@
+package arma
+
+import (
+	"fmt"
+
+	"repro/internal/stat"
+)
+
+// FitYuleWalker estimates an AR(p) model by solving the Yule-Walker
+// equations with the Levinson-Durbin recursion. It is the classical
+// moment-based alternative to the conditional-least-squares path used by
+// Fit; DESIGN.md benchmarks the two against each other.
+//
+// The series is centred on its sample mean; the intercept Phi0 is recovered
+// as mean * (1 - sum(phi)). The returned Sigma2 is the innovation variance
+// from the final recursion step.
+func FitYuleWalker(xs []float64, p int) (*Model, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: p=%d", ErrOrder, p)
+	}
+	n := len(xs)
+	if n < 2*p+2 {
+		return nil, fmt.Errorf("%w: n=%d p=%d", ErrShortInput, n, p)
+	}
+
+	// Sample autocovariances gamma_0..gamma_p (1/n normalisation keeps the
+	// Toeplitz system positive semidefinite).
+	gammas := make([]float64, p+1)
+	for k := 0; k <= p; k++ {
+		g, err := stat.Autocovariance(xs, k)
+		if err != nil {
+			return nil, err
+		}
+		gammas[k] = g
+	}
+	if gammas[0] <= 0 {
+		// Constant window; same degenerate fallback as the CLS path.
+		return constantFallback(xs, p, 0), nil
+	}
+
+	// Levinson-Durbin recursion.
+	phi := make([]float64, p+1)  // phi[1..k] at order k
+	prev := make([]float64, p+1) // previous-order coefficients
+	v := gammas[0]               // innovation variance
+	for k := 1; k <= p; k++ {
+		// Reflection coefficient.
+		acc := gammas[k]
+		for j := 1; j < k; j++ {
+			acc -= phi[j] * gammas[k-j]
+		}
+		kappa := acc / v
+		copy(prev, phi)
+		phi[k] = kappa
+		for j := 1; j < k; j++ {
+			phi[j] = prev[j] - kappa*prev[k-j]
+		}
+		v *= 1 - kappa*kappa
+		if v <= 0 {
+			// Numerically at the unit circle: treat as perfectly predictable.
+			v = 1e-12 * gammas[0]
+		}
+	}
+
+	mean := stat.Mean(xs)
+	sumPhi := 0.0
+	coefs := make([]float64, p)
+	for j := 1; j <= p; j++ {
+		coefs[j-1] = phi[j]
+		sumPhi += phi[j]
+	}
+	return &Model{
+		P:      p,
+		Phi0:   mean * (1 - sumPhi),
+		Phi:    coefs,
+		Theta:  []float64{},
+		Sigma2: v,
+		n:      n,
+	}, nil
+}
+
+// PartialAutocorrelations returns the sample PACF at lags 1..maxLag via the
+// same Levinson-Durbin recursion (the reflection coefficients). Useful for
+// order identification, the task Fig. 12 probes.
+func PartialAutocorrelations(xs []float64, maxLag int) ([]float64, error) {
+	if maxLag < 1 {
+		return nil, fmt.Errorf("%w: maxLag=%d", ErrOrder, maxLag)
+	}
+	if len(xs) < 2*maxLag+2 {
+		return nil, fmt.Errorf("%w: n=%d maxLag=%d", ErrShortInput, len(xs), maxLag)
+	}
+	gammas := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		g, err := stat.Autocovariance(xs, k)
+		if err != nil {
+			return nil, err
+		}
+		gammas[k] = g
+	}
+	if gammas[0] <= 0 {
+		return nil, fmt.Errorf("%w: zero variance", ErrShortInput)
+	}
+	pacf := make([]float64, maxLag)
+	phi := make([]float64, maxLag+1)
+	prev := make([]float64, maxLag+1)
+	v := gammas[0]
+	for k := 1; k <= maxLag; k++ {
+		acc := gammas[k]
+		for j := 1; j < k; j++ {
+			acc -= phi[j] * gammas[k-j]
+		}
+		kappa := acc / v
+		pacf[k-1] = kappa
+		copy(prev, phi)
+		phi[k] = kappa
+		for j := 1; j < k; j++ {
+			phi[j] = prev[j] - kappa*prev[k-j]
+		}
+		v *= 1 - kappa*kappa
+		if v <= 0 {
+			v = 1e-12 * gammas[0]
+		}
+	}
+	return pacf, nil
+}

@@ -1,0 +1,126 @@
+package arma
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFitYuleWalkerRecoversAR2(t *testing.T) {
+	xs := simulateAR(0, []float64{0.6, -0.3}, 0.5, 8000, 21)
+	m, err := FitYuleWalker(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-0.6) > 0.05 {
+		t.Errorf("phi1 = %v", m.Phi[0])
+	}
+	if math.Abs(m.Phi[1]+0.3) > 0.05 {
+		t.Errorf("phi2 = %v", m.Phi[1])
+	}
+	if math.Abs(m.Sigma2-0.25) > 0.03 {
+		t.Errorf("sigma2 = %v", m.Sigma2)
+	}
+}
+
+func TestFitYuleWalkerRecoversIntercept(t *testing.T) {
+	xs := simulateAR(2.0, []float64{0.5}, 0.4, 8000, 22)
+	m, err := FitYuleWalker(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process mean = phi0/(1-phi1) = 4; intercept ~ 2.
+	if math.Abs(m.Phi0-2.0) > 0.2 {
+		t.Errorf("phi0 = %v, want ~2", m.Phi0)
+	}
+}
+
+func TestFitYuleWalkerAgreesWithCLS(t *testing.T) {
+	xs := simulateAR(0, []float64{0.7, -0.2}, 1, 5000, 23)
+	yw, err := FitYuleWalker(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := Fit(xs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(yw.Phi[j]-cls.Phi[j]) > 0.05 {
+			t.Errorf("phi%d: YW %v vs CLS %v", j+1, yw.Phi[j], cls.Phi[j])
+		}
+	}
+}
+
+func TestFitYuleWalkerStationaryCoefficients(t *testing.T) {
+	// Yule-Walker estimates are always stationary, even on trending data
+	// where CLS can produce a unit root.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i) + 0.1*math.Sin(float64(i))
+	}
+	m, err := FitYuleWalker(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]) >= 1 {
+		t.Errorf("non-stationary YW estimate: phi1 = %v", m.Phi[0])
+	}
+}
+
+func TestFitYuleWalkerValidation(t *testing.T) {
+	if _, err := FitYuleWalker([]float64{1, 2, 3}, 0); !errors.Is(err, ErrOrder) {
+		t.Error("p=0 accepted")
+	}
+	if _, err := FitYuleWalker([]float64{1, 2, 3}, 2); !errors.Is(err, ErrShortInput) {
+		t.Error("short input accepted")
+	}
+}
+
+func TestFitYuleWalkerConstantWindow(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 3
+	}
+	m, err := FitYuleWalker(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-3) > 1e-9 {
+		t.Errorf("constant forecast = %v", f)
+	}
+}
+
+func TestPartialAutocorrelationsAR1(t *testing.T) {
+	xs := simulateAR(0, []float64{0.7}, 1, 8000, 24)
+	pacf, err := PartialAutocorrelations(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pacf[0]-0.7) > 0.05 {
+		t.Errorf("PACF(1) = %v, want ~0.7", pacf[0])
+	}
+	// An AR(1) has (population) zero PACF beyond lag 1.
+	for k := 1; k < 5; k++ {
+		if math.Abs(pacf[k]) > 0.05 {
+			t.Errorf("PACF(%d) = %v, want ~0", k+1, pacf[k])
+		}
+	}
+}
+
+func TestPartialAutocorrelationsValidation(t *testing.T) {
+	if _, err := PartialAutocorrelations([]float64{1, 2, 3}, 0); !errors.Is(err, ErrOrder) {
+		t.Error("maxLag=0 accepted")
+	}
+	if _, err := PartialAutocorrelations([]float64{1, 2}, 3); !errors.Is(err, ErrShortInput) {
+		t.Error("short input accepted")
+	}
+	zeros := make([]float64, 50)
+	if _, err := PartialAutocorrelations(zeros, 2); err == nil {
+		t.Error("zero-variance input accepted")
+	}
+}

@@ -1,0 +1,350 @@
+// Package btree implements an in-memory B-tree with float64 keys, the sorted
+// container in which the sigma-cache stores its pre-computed distributions
+// (Section VI-B: "We store each of these pre-computed distributions in a
+// sorted container like a B-tree along with key d_s^q * min(sigma)").
+//
+// The tree supports exact lookup, floor/ceiling queries (the cache's primary
+// access pattern: find the cached sigma ladder rung just below sigmâ_t'),
+// ordered iteration, and deletion. It follows the classic CLRS structure
+// with a configurable minimum degree.
+package btree
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBadDegree is returned for minimum degrees below 2.
+var ErrBadDegree = errors.New("btree: minimum degree must be >= 2")
+
+// DefaultDegree is a reasonable node width for float64 keys.
+const DefaultDegree = 16
+
+// Tree is a B-tree mapping float64 keys to values of type V.
+type Tree[V any] struct {
+	t    int // minimum degree
+	root *node[V]
+	size int
+}
+
+type item[V any] struct {
+	key float64
+	val V
+}
+
+type node[V any] struct {
+	items    []item[V]
+	children []*node[V] // empty for leaves
+}
+
+func (n *node[V]) leaf() bool { return len(n.children) == 0 }
+
+// New creates a B-tree with the given minimum degree (nodes hold between
+// degree-1 and 2*degree-1 keys).
+func New[V any](degree int) (*Tree[V], error) {
+	if degree < 2 {
+		return nil, ErrBadDegree
+	}
+	return &Tree[V]{t: degree, root: &node[V]{}}, nil
+}
+
+// Len returns the number of stored keys.
+func (tr *Tree[V]) Len() int { return tr.size }
+
+// find returns the position of key within n.items and whether it is present.
+func (n *node[V]) find(key float64) (int, bool) {
+	i := sort.Search(len(n.items), func(j int) bool { return n.items[j].key >= key })
+	if i < len(n.items) && n.items[i].key == key {
+		return i, true
+	}
+	return i, false
+}
+
+// Get returns the value stored under key.
+func (tr *Tree[V]) Get(key float64) (V, bool) {
+	n := tr.root
+	for {
+		i, ok := n.find(key)
+		if ok {
+			return n.items[i].val, true
+		}
+		if n.leaf() {
+			var zero V
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Insert stores val under key, replacing any existing value. It reports
+// whether a new key was inserted (false means replaced).
+func (tr *Tree[V]) Insert(key float64, val V) bool {
+	if len(tr.root.items) == 2*tr.t-1 {
+		// Split the root.
+		old := tr.root
+		tr.root = &node[V]{children: []*node[V]{old}}
+		tr.splitChild(tr.root, 0)
+	}
+	inserted := tr.insertNonFull(tr.root, key, val)
+	if inserted {
+		tr.size++
+	}
+	return inserted
+}
+
+// splitChild splits the full child parent.children[i] around its median key.
+func (tr *Tree[V]) splitChild(parent *node[V], i int) {
+	t := tr.t
+	child := parent.children[i]
+	median := child.items[t-1]
+
+	right := &node[V]{}
+	right.items = append(right.items, child.items[t:]...)
+	child.items = child.items[:t-1]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[t:]...)
+		child.children = child.children[:t]
+	}
+
+	parent.items = append(parent.items, item[V]{})
+	copy(parent.items[i+1:], parent.items[i:])
+	parent.items[i] = median
+
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+func (tr *Tree[V]) insertNonFull(n *node[V], key float64, val V) bool {
+	for {
+		i, ok := n.find(key)
+		if ok {
+			n.items[i].val = val
+			return false
+		}
+		if n.leaf() {
+			n.items = append(n.items, item[V]{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item[V]{key: key, val: val}
+			return true
+		}
+		if len(n.children[i].items) == 2*tr.t-1 {
+			tr.splitChild(n, i)
+			// The median moved up into position i; re-dispatch.
+			if key == n.items[i].key {
+				n.items[i].val = val
+				return false
+			}
+			if key > n.items[i].key {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Floor returns the largest key <= key and its value; ok is false when every
+// stored key exceeds key (or the tree is empty).
+func (tr *Tree[V]) Floor(key float64) (k float64, v V, ok bool) {
+	n := tr.root
+	for {
+		i, found := n.find(key)
+		if found {
+			return n.items[i].key, n.items[i].val, true
+		}
+		if i > 0 {
+			// items[i-1] is a candidate; a closer one may exist in the
+			// subtree between items[i-1] and items[i].
+			k, v, ok = n.items[i-1].key, n.items[i-1].val, true
+		}
+		if n.leaf() {
+			return k, v, ok
+		}
+		n = n.children[i]
+	}
+}
+
+// Ceil returns the smallest key >= key and its value; ok is false when every
+// stored key is below key (or the tree is empty).
+func (tr *Tree[V]) Ceil(key float64) (k float64, v V, ok bool) {
+	n := tr.root
+	for {
+		i, found := n.find(key)
+		if found {
+			return n.items[i].key, n.items[i].val, true
+		}
+		if i < len(n.items) {
+			k, v, ok = n.items[i].key, n.items[i].val, true
+		}
+		if n.leaf() {
+			return k, v, ok
+		}
+		n = n.children[i]
+	}
+}
+
+// Min returns the smallest key and its value.
+func (tr *Tree[V]) Min() (k float64, v V, ok bool) {
+	n := tr.root
+	if len(n.items) == 0 {
+		return 0, v, false
+	}
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0].key, n.items[0].val, true
+}
+
+// Max returns the largest key and its value.
+func (tr *Tree[V]) Max() (k float64, v V, ok bool) {
+	n := tr.root
+	if len(n.items) == 0 {
+		return 0, v, false
+	}
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	it := n.items[len(n.items)-1]
+	return it.key, it.val, true
+}
+
+// Ascend calls fn for every key/value in ascending key order until fn
+// returns false.
+func (tr *Tree[V]) Ascend(fn func(key float64, val V) bool) {
+	tr.root.ascend(fn)
+}
+
+func (n *node[V]) ascend(fn func(key float64, val V) bool) bool {
+	for i, it := range n.items {
+		if !n.leaf() {
+			if !n.children[i].ascend(fn) {
+				return false
+			}
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}
+
+// Delete removes key and reports whether it was present.
+func (tr *Tree[V]) Delete(key float64) bool {
+	if len(tr.root.items) == 0 {
+		return false
+	}
+	deleted := tr.delete(tr.root, key)
+	if len(tr.root.items) == 0 && !tr.root.leaf() {
+		tr.root = tr.root.children[0]
+	}
+	if deleted {
+		tr.size--
+	}
+	return deleted
+}
+
+// delete removes key from the subtree rooted at n, maintaining the invariant
+// that n has at least t keys whenever we descend (root exempt).
+func (tr *Tree[V]) delete(n *node[V], key float64) bool {
+	t := tr.t
+	i, found := n.find(key)
+	if found {
+		if n.leaf() {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return true
+		}
+		// Internal node: replace with predecessor or successor, or merge.
+		if len(n.children[i].items) >= t {
+			pred := n.children[i]
+			for !pred.leaf() {
+				pred = pred.children[len(pred.children)-1]
+			}
+			n.items[i] = pred.items[len(pred.items)-1]
+			return tr.delete(n.children[i], n.items[i].key)
+		}
+		if len(n.children[i+1].items) >= t {
+			succ := n.children[i+1]
+			for !succ.leaf() {
+				succ = succ.children[0]
+			}
+			n.items[i] = succ.items[0]
+			return tr.delete(n.children[i+1], n.items[i].key)
+		}
+		tr.mergeChildren(n, i)
+		return tr.delete(n.children[i], key)
+	}
+	if n.leaf() {
+		return false
+	}
+	// Ensure the child we descend into has at least t keys.
+	if len(n.children[i].items) == t-1 {
+		i = tr.fill(n, i)
+	}
+	return tr.delete(n.children[i], key)
+}
+
+// fill tops up child i (which has t-1 keys) by borrowing or merging, and
+// returns the index to descend into afterwards.
+func (tr *Tree[V]) fill(n *node[V], i int) int {
+	t := tr.t
+	switch {
+	case i > 0 && len(n.children[i-1].items) >= t:
+		tr.borrowFromLeft(n, i)
+		return i
+	case i < len(n.children)-1 && len(n.children[i+1].items) >= t:
+		tr.borrowFromRight(n, i)
+		return i
+	case i > 0:
+		tr.mergeChildren(n, i-1)
+		return i - 1
+	default:
+		tr.mergeChildren(n, i)
+		return i
+	}
+}
+
+func (tr *Tree[V]) borrowFromLeft(n *node[V], i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.items = append([]item[V]{n.items[i-1]}, child.items...)
+	n.items[i-1] = left.items[len(left.items)-1]
+	left.items = left.items[:len(left.items)-1]
+	if !left.leaf() {
+		child.children = append([]*node[V]{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (tr *Tree[V]) borrowFromRight(n *node[V], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	n.items[i] = right.items[0]
+	right.items = append(right.items[:0], right.items[1:]...)
+	if !right.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// mergeChildren merges child i, separator item i, and child i+1 into one node.
+func (tr *Tree[V]) mergeChildren(n *node[V], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Keys returns all keys in ascending order (primarily for tests and
+// diagnostics).
+func (tr *Tree[V]) Keys() []float64 {
+	out := make([]float64, 0, tr.size)
+	tr.Ascend(func(k float64, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,279 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newTree(t *testing.T, degree int) *Tree[int] {
+	t.Helper()
+	tr, err := New[int](degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](1); err != ErrBadDegree {
+		t.Error("degree 1 accepted")
+	}
+	if _, err := New[int](2); err != nil {
+		t.Errorf("degree 2 rejected: %v", err)
+	}
+}
+
+func TestInsertGetBasic(t *testing.T) {
+	tr := newTree(t, 2)
+	if !tr.Insert(1.5, 10) {
+		t.Error("fresh insert reported as replace")
+	}
+	if tr.Insert(1.5, 20) {
+		t.Error("replace reported as fresh insert")
+	}
+	v, ok := tr.Get(1.5)
+	if !ok || v != 20 {
+		t.Errorf("Get = %v,%v", v, ok)
+	}
+	if _, ok := tr.Get(99); ok {
+		t.Error("missing key found")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertManySplitsAndOrders(t *testing.T) {
+	tr := newTree(t, 2) // small degree forces many splits
+	rng := rand.New(rand.NewSource(1))
+	keys := rng.Perm(500)
+	for _, k := range keys {
+		tr.Insert(float64(k), k)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Keys()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatal("keys not sorted")
+	}
+	for i, k := range got {
+		if k != float64(i) {
+			t.Fatalf("key[%d] = %v", i, k)
+		}
+	}
+	// Every key must be retrievable with its value.
+	for i := 0; i < 500; i++ {
+		v, ok := tr.Get(float64(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %v,%v", i, v, ok)
+		}
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	tr := newTree(t, 3)
+	for _, k := range []float64{10, 20, 30, 40} {
+		tr.Insert(k, int(k))
+	}
+	cases := []struct {
+		q       float64
+		floorK  float64
+		floorOK bool
+		ceilK   float64
+		ceilOK  bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{25, 20, true, 30, true},
+		{40, 40, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.Floor(c.q)
+		if ok != c.floorOK || (ok && k != c.floorK) {
+			t.Errorf("Floor(%v) = %v,%v; want %v,%v", c.q, k, ok, c.floorK, c.floorOK)
+		}
+		k, _, ok = tr.Ceil(c.q)
+		if ok != c.ceilOK || (ok && k != c.ceilK) {
+			t.Errorf("Ceil(%v) = %v,%v; want %v,%v", c.q, k, ok, c.ceilK, c.ceilOK)
+		}
+	}
+}
+
+func TestFloorCeilEmptyTree(t *testing.T) {
+	tr := newTree(t, 2)
+	if _, _, ok := tr.Floor(1); ok {
+		t.Error("Floor on empty tree returned ok")
+	}
+	if _, _, ok := tr.Ceil(1); ok {
+		t.Error("Ceil on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree returned ok")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := newTree(t, 2)
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range rng.Perm(200) {
+		tr.Insert(float64(k), k)
+	}
+	if k, v, ok := tr.Min(); !ok || k != 0 || v != 0 {
+		t.Errorf("Min = %v,%v,%v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || k != 199 || v != 199 {
+		t.Errorf("Max = %v,%v,%v", k, v, ok)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := newTree(t, 2)
+	for i := 0; i < 50; i++ {
+		tr.Insert(float64(i), i)
+	}
+	count := 0
+	tr.Ascend(func(k float64, v int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestDeleteLeafAndInternal(t *testing.T) {
+	tr := newTree(t, 2)
+	n := 300
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		tr.Insert(float64(k), k)
+	}
+	// Delete every even key in random order.
+	for _, k := range perm {
+		if k%2 == 0 {
+			if !tr.Delete(float64(k)) {
+				t.Fatalf("Delete(%d) failed", k)
+			}
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(float64(i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("kept key %d missing", i)
+		}
+	}
+	if !sort.Float64sAreSorted(tr.Keys()) {
+		t.Fatal("keys unsorted after deletes")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := newTree(t, 2)
+	tr.Insert(1, 1)
+	if tr.Delete(2) {
+		t.Error("deleting missing key reported success")
+	}
+	if tr.Len() != 1 {
+		t.Error("Len changed on failed delete")
+	}
+	empty := newTree(t, 2)
+	if empty.Delete(1) {
+		t.Error("delete on empty tree reported success")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := newTree(t, 3)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), i)
+	}
+	for i := 99; i >= 0; i-- {
+		if !tr.Delete(float64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on emptied tree returned ok")
+	}
+	// Tree must remain usable.
+	tr.Insert(42, 42)
+	if v, ok := tr.Get(42); !ok || v != 42 {
+		t.Error("tree unusable after full deletion")
+	}
+}
+
+func TestMixedWorkloadAgainstMap(t *testing.T) {
+	tr := newTree(t, 4)
+	ref := map[float64]int{}
+	rng := rand.New(rand.NewSource(4))
+	for op := 0; op < 5000; op++ {
+		k := float64(rng.Intn(400))
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Insert(k, op)
+			ref[k] = op
+		case 2:
+			delete(ref, k)
+			tr.Delete(k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%v) = %v,%v; want %v", k, got, ok, v)
+		}
+	}
+}
+
+// Property: Floor(q) is the max key <= q per a reference sorted slice.
+func TestQuickFloorMatchesReference(t *testing.T) {
+	f := func(keysRaw []uint16, qRaw uint16) bool {
+		tr, err := New[int](3)
+		if err != nil {
+			return false
+		}
+		set := map[float64]bool{}
+		for _, k := range keysRaw {
+			key := float64(k % 1000)
+			tr.Insert(key, 0)
+			set[key] = true
+		}
+		q := float64(qRaw % 1100)
+		var want float64
+		haveWant := false
+		for k := range set {
+			if k <= q && (!haveWant || k > want) {
+				want = k
+				haveWant = true
+			}
+		}
+		k, _, ok := tr.Floor(q)
+		if ok != haveWant {
+			return false
+		}
+		return !ok || k == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,346 @@
+package clean
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/density"
+	"repro/internal/stat"
+)
+
+// smoothSeries is a slowly varying series with small noise.
+func smoothSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 20 + 3*math.Sin(float64(i)/40) + 0.2*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestSVRFilterRemovesSpikes(t *testing.T) {
+	vs := smoothSeries(50, 1)
+	orig := make([]float64, len(vs))
+	copy(orig, vs)
+	vs[10] = 500  // very high spike
+	vs[30] = -400 // very low spike
+
+	svMax := 4 * stat.Variance(orig)
+	res, err := SVRFilter(vs, svMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replaced) < 2 {
+		t.Fatalf("replaced %v, want both spikes", res.Replaced)
+	}
+	found10, found30 := false, false
+	for _, i := range res.Replaced {
+		if i == 10 {
+			found10 = true
+		}
+		if i == 30 {
+			found30 = true
+		}
+	}
+	if !found10 || !found30 {
+		t.Errorf("spikes at 10/30 not replaced: %v", res.Replaced)
+	}
+	// Reconstructed values must be near the local trend, not the spike.
+	if math.Abs(res.Cleaned[10]-orig[10]) > 2 {
+		t.Errorf("reconstruction at 10 = %v, want ~%v", res.Cleaned[10], orig[10])
+	}
+	if v := stat.Variance(res.Cleaned); v > svMax {
+		t.Errorf("cleaned variance %v exceeds threshold %v", v, svMax)
+	}
+}
+
+func TestSVRFilterLeavesCleanDataAlone(t *testing.T) {
+	vs := smoothSeries(40, 2)
+	svMax := 10 * stat.Variance(vs)
+	res, err := SVRFilter(vs, svMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replaced) != 0 {
+		t.Errorf("clean data modified: %v", res.Replaced)
+	}
+	for i := range vs {
+		if res.Cleaned[i] != vs[i] {
+			t.Fatalf("value %d changed", i)
+		}
+	}
+}
+
+func TestSVRFilterDoesNotModifyInput(t *testing.T) {
+	vs := []float64{1, 2, 100, 3, 4, 5}
+	orig := make([]float64, len(vs))
+	copy(orig, vs)
+	if _, err := SVRFilter(vs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if vs[i] != orig[i] {
+			t.Fatal("input modified")
+		}
+	}
+}
+
+func TestSVRFilterEdgeSpikes(t *testing.T) {
+	vs := smoothSeries(30, 3)
+	vs[0] = 1000
+	res, err := SVRFilter(vs, 4*stat.Variance(smoothSeries(30, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cleaned[0] > 100 {
+		t.Errorf("edge spike survived: %v", res.Cleaned[0])
+	}
+
+	vs2 := smoothSeries(30, 4)
+	vs2[29] = -1000
+	res2, err := SVRFilter(vs2, 4*stat.Variance(smoothSeries(30, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cleaned[29] < -100 {
+		t.Errorf("tail spike survived: %v", res2.Cleaned[29])
+	}
+}
+
+func TestSVRFilterValidation(t *testing.T) {
+	if _, err := SVRFilter([]float64{1, 2}, 1); !errors.Is(err, ErrShortInput) {
+		t.Error("K<3 accepted")
+	}
+	if _, err := SVRFilter([]float64{1, 2, 3}, -1); !errors.Is(err, ErrBadArg) {
+		t.Error("negative svMax accepted")
+	}
+	if _, err := SVRFilter([]float64{1, 2, 3}, math.NaN()); !errors.Is(err, ErrBadArg) {
+		t.Error("NaN svMax accepted")
+	}
+}
+
+func TestSVRFilterTerminatesOnPathologicalInput(t *testing.T) {
+	// All values identical except alternating spikes; svMax=0 forces maximal
+	// cleaning, which must still terminate.
+	vs := make([]float64, 20)
+	for i := range vs {
+		if i%2 == 0 {
+			vs[i] = 100
+		}
+	}
+	res, err := SVRFilter(vs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replaced) > len(vs)-2 {
+		t.Errorf("replaced too many points: %d", len(res.Replaced))
+	}
+}
+
+func TestLearnSVMax(t *testing.T) {
+	clean := smoothSeries(300, 5)
+	svMax, err := LearnSVMax(clean, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svMax <= 0 {
+		t.Fatalf("svMax = %v", svMax)
+	}
+	// The learned threshold is the max windowed variance, so every window
+	// variance must be <= svMax.
+	vars, _ := stat.RollingVariance(clean, 8)
+	for _, v := range vars {
+		if v > svMax {
+			t.Fatalf("window variance %v exceeds learned svMax %v", v, svMax)
+		}
+	}
+	// A spike should blow well past the learned threshold.
+	dirty := make([]float64, 20)
+	copy(dirty, clean[:20])
+	dirty[10] = 1e4
+	if stat.Variance(dirty[5:15]) <= svMax {
+		t.Error("spiked window variance does not exceed learned threshold")
+	}
+}
+
+func TestLearnSVMaxValidation(t *testing.T) {
+	if _, err := LearnSVMax([]float64{1, 2, 3}, 1); !errors.Is(err, ErrBadArg) {
+		t.Error("ocmax<2 accepted")
+	}
+	if _, err := LearnSVMax([]float64{1, 2}, 5); !errors.Is(err, ErrShortInput) {
+		t.Error("short sample accepted")
+	}
+}
+
+func newTestProcessor(t *testing.T, series []float64, h, ocmax int) *Processor {
+	t.Helper()
+	m, err := density.NewARMAGARCH(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svMax, err := LearnSVMax(series[:h], ocmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcessor(Config{Metric: m, H: h, OCMax: ocmax, SVMax: svMax}, series[:h])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProcessorDetectsInjectedErrors(t *testing.T) {
+	series := smoothSeries(400, 6)
+	h := 90
+	// Inject obvious spikes after the warm-up region.
+	errorIdx := []int{50, 120, 200} // indices within the streamed suffix
+	stream := make([]float64, len(series)-h)
+	copy(stream, series[h:])
+	for _, i := range errorIdx {
+		stream[i] = 800
+	}
+
+	p := newTestProcessor(t, series, h, 8)
+	res, err := p.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := map[int]bool{}
+	for _, i := range res.DetectedIdx {
+		detected[i] = true
+	}
+	for _, i := range errorIdx {
+		if !detected[i] {
+			t.Errorf("injected error at %d not detected", i)
+		}
+	}
+	// Cleaned values at error positions must be near the trend, not 800.
+	for _, i := range errorIdx {
+		if math.Abs(res.Cleaned[i]) > 100 {
+			t.Errorf("cleaned[%d] = %v", i, res.Cleaned[i])
+		}
+	}
+}
+
+func TestProcessorFollowsTrendChange(t *testing.T) {
+	// A genuine step change must eventually be adopted, not suppressed
+	// forever.
+	h := 90
+	n := 400
+	rng := rand.New(rand.NewSource(7))
+	series := make([]float64, n)
+	for i := range series {
+		base := 10.0
+		if i >= 250 {
+			base = 30.0 // step change
+		}
+		series[i] = base + 0.2*rng.NormFloat64()
+	}
+	ocmax := 7
+	p := newTestProcessor(t, series, h, ocmax)
+	res, err := p.Run(series[h:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TrendChanges) == 0 {
+		t.Fatal("trend change never detected")
+	}
+	// After adoption, the window should track the new level: the cleaned
+	// values near the end must be ~30.
+	tail := res.Cleaned[len(res.Cleaned)-20:]
+	if stat.Mean(tail) < 25 {
+		t.Errorf("tail mean = %v, want ~30 (trend not adopted)", stat.Mean(tail))
+	}
+}
+
+func TestProcessorCleanStreamPassesThrough(t *testing.T) {
+	series := smoothSeries(300, 8)
+	h := 90
+	p := newTestProcessor(t, series, h, 8)
+	res, err := p.Run(series[h:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On clean data the false-positive rate should be low (kappa=3 covers
+	// 99.73% of in-model values).
+	if len(res.DetectedIdx) > len(res.Cleaned)/10 {
+		t.Errorf("too many false positives: %d of %d", len(res.DetectedIdx), len(res.Cleaned))
+	}
+}
+
+func TestProcessorValidation(t *testing.T) {
+	m, _ := density.NewARMAGARCH(1, 0)
+	warm := smoothSeries(90, 9)
+	if _, err := NewProcessor(Config{Metric: nil, H: 90, OCMax: 8}, warm); !errors.Is(err, ErrBadArg) {
+		t.Error("nil metric accepted")
+	}
+	if _, err := NewProcessor(Config{Metric: m, H: 5, OCMax: 8}, warm[:5]); !errors.Is(err, ErrBadArg) {
+		t.Error("H below metric minimum accepted")
+	}
+	if _, err := NewProcessor(Config{Metric: m, H: 90, OCMax: 0}, warm); !errors.Is(err, ErrBadArg) {
+		t.Error("ocmax=0 accepted")
+	}
+	if _, err := NewProcessor(Config{Metric: m, H: 90, OCMax: 8, SVMax: -1}, warm); !errors.Is(err, ErrBadArg) {
+		t.Error("negative svmax accepted")
+	}
+	if _, err := NewProcessor(Config{Metric: m, H: 90, OCMax: 8}, warm[:50]); !errors.Is(err, ErrShortInput) {
+		t.Error("short warmup accepted")
+	}
+}
+
+func TestProcessorWindowCopy(t *testing.T) {
+	series := smoothSeries(200, 10)
+	p := newTestProcessor(t, series, 90, 8)
+	w := p.Window()
+	w[0] = 1e9
+	if p.Window()[0] == 1e9 {
+		t.Error("Window() exposes internal state")
+	}
+}
+
+func TestProcessorRejectsNaN(t *testing.T) {
+	series := smoothSeries(200, 11)
+	p := newTestProcessor(t, series, 90, 8)
+	st, err := p.Step(math.NaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Erroneous {
+		t.Error("NaN not marked erroneous")
+	}
+	if math.IsNaN(st.Cleaned) {
+		t.Error("NaN admitted into the window")
+	}
+}
+
+func TestCGARCHMetricAdapter(t *testing.T) {
+	inner, _ := density.NewARMAGARCH(1, 0)
+	clean := smoothSeries(300, 12)
+	svMax, _ := LearnSVMax(clean, 8)
+	m := &Metric{Inner: inner, SVMax: svMax}
+	if m.Name() != "C-GARCH" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if m.MinWindow() != inner.MinWindow() {
+		t.Error("MinWindow should delegate")
+	}
+
+	window := make([]float64, 90)
+	copy(window, clean[:90])
+	window[45] = 1e5 // gross outlier inside the window
+	infDirty, err := m.Infer(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infInner, err := inner.Infer(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scrubbed inference must have far smaller volatility than the raw
+	// one (this is precisely the Fig. 5 failure C-GARCH fixes).
+	if infDirty.Sigma >= infInner.Sigma {
+		t.Errorf("C-GARCH sigma %v not below raw GARCH sigma %v", infDirty.Sigma, infInner.Sigma)
+	}
+}

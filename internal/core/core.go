@@ -1,0 +1,280 @@
+// Package core wires the framework of Fig. 2 together: raw-value tables in
+// the storage catalog, dynamic density metrics, the Omega-view builder with
+// its sigma-cache, and the SQL-like query surface. It is the integration
+// point the public repro package exposes.
+//
+// Two operating modes follow Section II-A:
+//
+//   - Offline: Exec runs a probabilistic view generation query (Fig. 7
+//     syntax) over stored raw values and materialises a prob_view table.
+//   - Online: OpenStream attaches a metric to a raw table; every appended
+//     value yields its view rows immediately and extends the materialised
+//     view incrementally.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clean"
+	"repro/internal/density"
+	"repro/internal/query"
+	"repro/internal/sigmacache"
+	"repro/internal/storage"
+	"repro/internal/timeseries"
+	"repro/internal/view"
+)
+
+// Errors reported by the engine.
+var (
+	ErrBadArg = errors.New("core: invalid argument")
+)
+
+// Engine is the framework instance.
+type Engine struct {
+	db *storage.DB
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine {
+	return &Engine{db: storage.NewDB()}
+}
+
+// DB exposes the underlying catalog (advanced use).
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// RegisterSeries stores a raw-value time series under name with the default
+// column names (t, r).
+func (e *Engine) RegisterSeries(name string, s *timeseries.Series) error {
+	_, err := e.db.CreateRawTable(name, "", "", s)
+	return err
+}
+
+// RegisterTable stores a raw-value time series with explicit column names.
+func (e *Engine) RegisterTable(name, timeCol, valueCol string, s *timeseries.Series) error {
+	_, err := e.db.CreateRawTable(name, timeCol, valueCol, s)
+	return err
+}
+
+// Exec parses and executes a statement (CREATE VIEW ... AS DENSITY ...,
+// SELECT, SHOW TABLES, DROP TABLE) against the engine's catalog.
+func (e *Engine) Exec(q string) (*query.Result, error) {
+	return query.Exec(e.db, q)
+}
+
+// View fetches a materialised probabilistic view.
+func (e *Engine) View(name string) (*storage.ProbTable, error) {
+	return e.db.View(name)
+}
+
+// StreamConfig configures an online pipeline.
+type StreamConfig struct {
+	// Source is the raw table that receives the streamed values.
+	Source string
+	// ViewName is the probabilistic view extended on every step.
+	ViewName string
+	// Metric is the dynamic density metric (nil selects ARMA(1,0)-GARCH(1,1)).
+	Metric density.Metric
+	// H is the sliding-window length (0 selects query.DefaultWindow).
+	H int
+	// Omega holds the view parameters.
+	Omega view.Omega
+	// SigmaRange optionally enables the sigma-cache for the online mode:
+	// because the query runs forever, the cache must be sized up front for
+	// an expected [Min, Max] volatility band. Values outside the band fall
+	// back to direct computation (still correct, just slower).
+	SigmaRange *SigmaRange
+	// Clean optionally enables C-GARCH cleaning of the stream (Section V).
+	Clean *CleanStreamConfig
+}
+
+// SigmaRange is an expected volatility band with a Hellinger constraint.
+type SigmaRange struct {
+	Min, Max           float64
+	DistanceConstraint float64
+}
+
+// CleanStreamConfig enables C-GARCH cleaning (Section V) on an online
+// stream: raw values outside the metric's kappa-sigma bounds are marked
+// erroneous and replaced with the inferred value before entering the model
+// window, and runs longer than OCMax trigger trend re-adjustment through the
+// Successive Variance Reduction filter.
+type CleanStreamConfig struct {
+	// OCMax is the trend-change run length (paper guideline: twice the
+	// longest expected error burst).
+	OCMax int
+	// SVMax is the SVR filter's variance threshold; learn it from a clean
+	// sample with clean.LearnSVMax.
+	SVMax float64
+}
+
+// Stream is a live online pipeline.
+type Stream struct {
+	engine  *Engine
+	cfg     StreamConfig
+	builder *view.Builder
+	online  *view.OnlineBuilder // plain path (no cleaning)
+	proc    *clean.Processor    // C-GARCH path (cleaning enabled)
+	lastT   int64
+	started bool
+	table   *storage.ProbTable
+	metric  density.Metric
+	cache   *sigmacache.Cache
+}
+
+// OpenStream starts the online mode on a registered raw table. The table
+// must already hold at least H values (the warm-up window); subsequent
+// values arrive through Step.
+func (e *Engine) OpenStream(cfg StreamConfig) (*Stream, error) {
+	raw, err := e.db.RawTable(cfg.Source)
+	if err != nil {
+		return nil, err
+	}
+	metric := cfg.Metric
+	if metric == nil {
+		metric, err = density.NewARMAGARCH(1, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h := cfg.H
+	if h == 0 {
+		h = query.DefaultWindow
+	}
+	if h < metric.MinWindow() {
+		h = metric.MinWindow()
+	}
+	if raw.Series.Len() < h {
+		return nil, fmt.Errorf("%w: table %q holds %d values; warm-up needs %d",
+			ErrBadArg, cfg.Source, raw.Series.Len(), h)
+	}
+	if cfg.ViewName == "" {
+		return nil, fmt.Errorf("%w: empty view name", ErrBadArg)
+	}
+
+	builder, err := view.NewBuilder(cfg.Omega)
+	if err != nil {
+		return nil, err
+	}
+	var cache *sigmacache.Cache
+	if sr := cfg.SigmaRange; sr != nil {
+		cache, err = sigmacache.New(sigmacache.Config{
+			Delta:              cfg.Omega.Delta,
+			N:                  cfg.Omega.N,
+			DistanceConstraint: sr.DistanceConstraint,
+		}, sr.Min, sr.Max)
+		if err != nil {
+			return nil, err
+		}
+		builder.Cache = cache
+	}
+
+	// Warm up from the last H stored values.
+	warm := make([]float64, h)
+	for i := 0; i < h; i++ {
+		p, err := raw.Series.At(raw.Series.Len() - h + i)
+		if err != nil {
+			return nil, err
+		}
+		warm[i] = p.V
+	}
+
+	stream := &Stream{engine: e, cfg: cfg, builder: builder, metric: metric, cache: cache}
+	if cc := cfg.Clean; cc != nil {
+		proc, err := clean.NewProcessor(clean.Config{
+			Metric: metric, H: h, OCMax: cc.OCMax, SVMax: cc.SVMax,
+		}, warm)
+		if err != nil {
+			return nil, err
+		}
+		stream.proc = proc
+	} else {
+		online, err := view.NewOnlineBuilder(metric, h, builder, warm)
+		if err != nil {
+			return nil, err
+		}
+		stream.online = online
+	}
+
+	table := &storage.ProbTable{
+		Name:       cfg.ViewName,
+		Source:     cfg.Source,
+		MetricName: metric.Name(),
+		Omega:      cfg.Omega,
+	}
+	if err := e.db.StoreView(table); err != nil {
+		return nil, err
+	}
+	stream.table = table
+	return stream, nil
+}
+
+// StepResult augments view rows with the C-GARCH cleaning outcome.
+type StepResult struct {
+	Rows []view.Row
+	// Cleaned is the value admitted into the model window (equals the raw
+	// value unless cleaning replaced it).
+	Cleaned float64
+	// Erroneous reports whether the raw value was marked erroneous.
+	Erroneous bool
+	// TrendChange reports whether trend re-adjustment fired at this step.
+	TrendChange bool
+}
+
+// Step ingests one raw value: it is appended to the source table, the
+// density is inferred (after C-GARCH cleaning when enabled), and the
+// generated view rows are appended to the materialised view and returned.
+func (s *Stream) Step(p timeseries.Point) ([]view.Row, error) {
+	res, err := s.StepDetailed(p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// StepDetailed is Step plus the cleaning outcome.
+func (s *Stream) StepDetailed(p timeseries.Point) (*StepResult, error) {
+	if s.started && p.T <= s.lastT {
+		return nil, fmt.Errorf("%w: non-increasing timestamp %d", ErrBadArg, p.T)
+	}
+	var out *StepResult
+	if s.proc != nil {
+		st, err := s.proc.Step(p.V)
+		if err != nil {
+			return nil, err
+		}
+		inf := st.Inference
+		rows, err := s.builder.GenerateOne(view.Tuple{
+			T: p.T, RHat: inf.RHat, Sigma: inf.Sigma, Dist: inf.Dist,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = &StepResult{Rows: rows, Cleaned: st.Cleaned, Erroneous: st.Erroneous, TrendChange: st.TrendChange}
+	} else {
+		rows, err := s.online.Step(p.T, p.V)
+		if err != nil {
+			return nil, err
+		}
+		out = &StepResult{Rows: rows, Cleaned: p.V}
+	}
+	if err := s.engine.db.AppendRaw(s.cfg.Source, p); err != nil {
+		return nil, err
+	}
+	s.table.Rows = append(s.table.Rows, out.Rows...)
+	s.lastT = p.T
+	s.started = true
+	return out, nil
+}
+
+// CacheStats reports sigma-cache effectiveness (zero Stats when no cache is
+// attached).
+func (s *Stream) CacheStats() sigmacache.Stats {
+	if s.cache == nil {
+		return sigmacache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+// MetricName returns the active metric's name.
+func (s *Stream) MetricName() string { return s.metric.Name() }

@@ -1,0 +1,276 @@
+package density
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// noisySine builds a deterministic-trend series with Gaussian noise, the
+// canonical "imprecise sensor" shape.
+func noisySine(n int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 20 + 5*math.Sin(float64(i)/25) + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+// volatilitySwitch builds a series whose noise level doubles halfway.
+func volatilitySwitch(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		noise := 0.2
+		if i >= n/2 {
+			noise = 2.0
+		}
+		xs[i] = 10 + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestNewUniformThresholdingValidation(t *testing.T) {
+	if _, err := NewUniformThresholding(1, 0, 0); !errors.Is(err, ErrBadConfig) {
+		t.Error("u=0 accepted")
+	}
+	if _, err := NewUniformThresholding(1, 0, -1); !errors.Is(err, ErrBadConfig) {
+		t.Error("u<0 accepted")
+	}
+	if _, err := NewUniformThresholding(0, 0, 1); !errors.Is(err, ErrBadConfig) {
+		t.Error("p=q=0 accepted")
+	}
+}
+
+func TestUniformThresholdingInfer(t *testing.T) {
+	m, err := NewUniformThresholding(1, 0, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := noisySine(60, 0.3, 1)
+	inf, err := m.Infer(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := inf.Dist.(dist.Uniform)
+	if !ok {
+		t.Fatalf("UT produced %T, want Uniform", inf.Dist)
+	}
+	if math.Abs((u.B-u.A)-5.0) > 1e-9 {
+		t.Errorf("uniform width = %v, want 5", u.B-u.A)
+	}
+	if math.Abs(inf.UB-(inf.RHat+2.5)) > 1e-9 || math.Abs(inf.LB-(inf.RHat-2.5)) > 1e-9 {
+		t.Error("UT bounds should be rhat +- u")
+	}
+	// Forecast should be near the local trend.
+	if math.Abs(inf.RHat-window[len(window)-1]) > 3 {
+		t.Errorf("UT forecast %v far from last value %v", inf.RHat, window[len(window)-1])
+	}
+}
+
+func TestVariableThresholdingInfer(t *testing.T) {
+	m, err := NewVariableThresholding(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := noisySine(60, 0.3, 2)
+	inf, err := m.Infer(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inf.Dist.(dist.Normal); !ok {
+		t.Fatalf("VT produced %T, want Normal", inf.Dist)
+	}
+	if inf.Sigma <= 0 {
+		t.Error("non-positive sigma")
+	}
+	if math.Abs(inf.UB-(inf.RHat+3*inf.Sigma)) > 1e-9 {
+		t.Error("VT bounds should be rhat +- 3 sigma")
+	}
+}
+
+func TestVariableThresholdingConstantWindow(t *testing.T) {
+	m, _ := NewVariableThresholding(1, 0)
+	window := make([]float64, 40)
+	for i := range window {
+		window[i] = 5
+	}
+	inf, err := m.Infer(window)
+	if err != nil {
+		t.Fatalf("constant window failed: %v", err)
+	}
+	if inf.Sigma <= 0 {
+		t.Error("sigma floor not applied")
+	}
+	if math.Abs(inf.RHat-5) > 1e-6 {
+		t.Errorf("constant forecast = %v", inf.RHat)
+	}
+}
+
+func TestARMAGARCHInfer(t *testing.T) {
+	m, err := NewARMAGARCH(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := noisySine(90, 0.5, 3)
+	inf, err := m.Infer(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inf.Dist.(dist.Normal); !ok {
+		t.Fatalf("ARMA-GARCH produced %T, want Normal", inf.Dist)
+	}
+	if inf.Sigma <= 0 {
+		t.Error("non-positive sigma")
+	}
+	// kappa = 3 default.
+	if math.Abs(inf.UB-(inf.RHat+3*inf.Sigma)) > 1e-9 {
+		t.Error("bounds not kappa-scaled")
+	}
+}
+
+func TestARMAGARCHTracksVolatilityRegimes(t *testing.T) {
+	xs := volatilitySwitch(400, 4)
+	m, _ := NewARMAGARCH(1, 0)
+	h := 90
+	calm, err := m.Infer(xs[h : 2*h])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild, err := m.Infer(xs[len(xs)-h:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wild.Sigma < 2*calm.Sigma {
+		t.Errorf("volatility not tracked: calm sigma %v, wild sigma %v", calm.Sigma, wild.Sigma)
+	}
+}
+
+func TestARMAGARCHCustomKappa(t *testing.T) {
+	m, _ := NewARMAGARCH(1, 0)
+	m.Kappa = 2
+	window := noisySine(90, 0.5, 5)
+	inf, err := m.Infer(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inf.UB-(inf.RHat+2*inf.Sigma)) > 1e-9 {
+		t.Error("custom kappa ignored")
+	}
+}
+
+func TestARMAGARCHConstantWindowFallback(t *testing.T) {
+	m, _ := NewARMAGARCH(1, 0)
+	window := make([]float64, 60)
+	for i := range window {
+		window[i] = -3
+	}
+	inf, err := m.Infer(window)
+	if err != nil {
+		t.Fatalf("constant window failed: %v", err)
+	}
+	if inf.Sigma <= 0 {
+		t.Error("sigma floor not applied")
+	}
+}
+
+func TestKalmanGARCHInfer(t *testing.T) {
+	m := NewKalmanGARCH()
+	window := noisySine(60, 0.5, 6)
+	inf, err := m.Infer(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inf.Dist.(dist.Normal); !ok {
+		t.Fatalf("Kalman-GARCH produced %T, want Normal", inf.Dist)
+	}
+	if inf.Sigma <= 0 {
+		t.Error("non-positive sigma")
+	}
+	if math.Abs(inf.RHat-window[len(window)-1]) > 5 {
+		t.Errorf("forecast %v far from last value", inf.RHat)
+	}
+}
+
+func TestShortWindowErrors(t *testing.T) {
+	ut, _ := NewUniformThresholding(1, 0, 1)
+	vt, _ := NewVariableThresholding(1, 0)
+	ag, _ := NewARMAGARCH(1, 0)
+	kg := NewKalmanGARCH()
+	for _, m := range []Metric{ut, vt, ag, kg} {
+		short := make([]float64, m.MinWindow()-1)
+		if _, err := m.Infer(short); !errors.Is(err, ErrShortWindow) {
+			t.Errorf("%s accepted short window", m.Name())
+		}
+	}
+}
+
+func TestMinWindowIsSufficient(t *testing.T) {
+	// Every metric must succeed on a window of exactly MinWindow() values.
+	ut, _ := NewUniformThresholding(1, 0, 1)
+	vt, _ := NewVariableThresholding(2, 0)
+	ag, _ := NewARMAGARCH(1, 0)
+	agq, _ := NewARMAGARCH(1, 1)
+	kg := NewKalmanGARCH()
+	for _, m := range []Metric{ut, vt, ag, agq, kg} {
+		window := noisySine(m.MinWindow(), 0.5, 7)
+		if _, err := m.Infer(window); err != nil {
+			t.Errorf("%s failed on MinWindow()=%d: %v", m.Name(), m.MinWindow(), err)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	ut, _ := NewUniformThresholding(1, 0, 1)
+	vt, _ := NewVariableThresholding(1, 0)
+	ag, _ := NewARMAGARCH(1, 0)
+	kg := NewKalmanGARCH()
+	names := map[string]bool{}
+	for _, m := range []Metric{ut, vt, ag, kg} {
+		names[m.Name()] = true
+	}
+	for _, want := range []string{"UT", "VT", "ARMA-GARCH", "Kalman-GARCH"} {
+		if !names[want] {
+			t.Errorf("missing metric name %q", want)
+		}
+	}
+}
+
+func TestInferredDistributionIntegratesToOne(t *testing.T) {
+	// P(LB-10sigma < X <= UB+10sigma) should be ~1 for all metrics.
+	ut, _ := NewUniformThresholding(1, 0, 1)
+	vt, _ := NewVariableThresholding(1, 0)
+	ag, _ := NewARMAGARCH(1, 0)
+	window := noisySine(90, 0.5, 8)
+	for _, m := range []Metric{ut, vt, ag} {
+		inf, err := m.Infer(window)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		span := 10 * (inf.UB - inf.LB)
+		p := inf.Dist.Prob(inf.RHat-span, inf.RHat+span)
+		if math.Abs(p-1) > 1e-6 {
+			t.Errorf("%s: total probability = %v", m.Name(), p)
+		}
+	}
+}
+
+func TestRhatIsDistributionMean(t *testing.T) {
+	vt, _ := NewVariableThresholding(1, 0)
+	ag, _ := NewARMAGARCH(1, 0)
+	ut, _ := NewUniformThresholding(1, 0, 2)
+	window := noisySine(90, 0.5, 9)
+	for _, m := range []Metric{ut, vt, ag} {
+		inf, err := m.Infer(window)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if math.Abs(inf.Dist.Mean()-inf.RHat) > 1e-9 {
+			t.Errorf("%s: Dist.Mean()=%v != RHat=%v", m.Name(), inf.Dist.Mean(), inf.RHat)
+		}
+	}
+}

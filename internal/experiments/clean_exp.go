@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/clean"
+	"repro/internal/dataset"
+	"repro/internal/density"
+)
+
+// plainGARCHRun streams values through the ARMA-GARCH metric admitting every
+// raw value into the window (no cleaning) — the baseline whose failure mode
+// Fig. 5a shows. It returns the indices (relative to the stream) marked
+// erroneous and the per-step inferences.
+type plainStep struct {
+	RHat, UB, LB float64
+	Erroneous    bool
+}
+
+func plainGARCHRun(metric density.Metric, warmup, stream []float64) ([]plainStep, error) {
+	window := make([]float64, len(warmup))
+	copy(window, warmup)
+	steps := make([]plainStep, 0, len(stream))
+	for _, rt := range stream {
+		inf, err := metric.Infer(window)
+		if err != nil {
+			return nil, err
+		}
+		st := plainStep{RHat: inf.RHat, UB: inf.UB, LB: inf.LB}
+		if rt > inf.UB || rt < inf.LB || math.IsNaN(rt) {
+			st.Erroneous = true
+		}
+		steps = append(steps, st)
+		// Admit the raw value unconditionally: this is what corrupts the
+		// GARCH variance when the value is erroneous.
+		copy(window, window[1:])
+		window[len(window)-1] = rt
+	}
+	return steps, nil
+}
+
+// Fig5Row is one time step of the GARCH-vs-C-GARCH behaviour trace (Fig. 5).
+type Fig5Row struct {
+	T        int64
+	Raw      float64
+	Injected bool
+	// Plain ARMA-GARCH (raw admission).
+	GARCHRHat, GARCHUB, GARCHLB float64
+	// C-GARCH (cleaning + trend adjustment).
+	CGARCHRHat, CGARCHUB, CGARCHLB float64
+	CGARCHErroneous                bool
+}
+
+// Fig5 reproduces the behaviour comparison: a campus-data slice with two
+// injected erroneous values, processed by plain ARMA-GARCH (whose inferred
+// bounds explode, Fig. 5a) and by C-GARCH (which detects and cleans them,
+// Fig. 5b). ocmax follows the paper's setting of 7.
+func Fig5(s Scale) ([]Fig5Row, error) {
+	const (
+		h      = 90
+		length = 260
+		ocmax  = 7
+	)
+	campus := dataset.Campus(dataset.CampusConfig{N: length + h})
+	dirty, injs, err := dataset.InjectErrors(campus, 2, 25, h+120, 5)
+	if err != nil {
+		return nil, err
+	}
+	injected := map[int]bool{}
+	for _, inj := range injs {
+		injected[inj.Index] = true
+	}
+
+	metric, err := density.NewARMAGARCH(1, 0)
+	if err != nil {
+		return nil, err
+	}
+	vals := dirty.Values()
+	warmup, stream := vals[:h], vals[h:]
+
+	plain, err := plainGARCHRun(metric, warmup, stream)
+	if err != nil {
+		return nil, err
+	}
+
+	svMax, err := clean.LearnSVMax(campus.Values()[:h], ocmax)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := clean.NewProcessor(clean.Config{Metric: metric, H: h, OCMax: ocmax, SVMax: svMax}, warmup)
+	if err != nil {
+		return nil, err
+	}
+	cg, err := proc.Run(stream)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Fig5Row, len(stream))
+	for i := range stream {
+		st := cg.Steps[i]
+		rows[i] = Fig5Row{
+			T:               int64(h + i + 1),
+			Raw:             stream[i],
+			Injected:        injected[h+i],
+			GARCHRHat:       plain[i].RHat,
+			GARCHUB:         plain[i].UB,
+			GARCHLB:         plain[i].LB,
+			CGARCHRHat:      st.Inference.RHat,
+			CGARCHUB:        st.Inference.UB,
+			CGARCHLB:        st.Inference.LB,
+			CGARCHErroneous: st.Erroneous,
+		}
+	}
+	return rows, nil
+}
+
+// Fig13Row is one point of the error-detection comparison (Fig. 13).
+type Fig13Row struct {
+	ErrorCount      int
+	Method          string  // "C-GARCH" or "GARCH"
+	PercentCaptured float64 // Fig. 13a
+	AvgTimeSec      float64 // Fig. 13b: average time to process one value
+}
+
+// Fig13 injects increasing numbers of erroneous values into campus-data and
+// compares the fraction detected (and the per-value processing cost) of
+// C-GARCH against plain ARMA-GARCH. ocmax follows the paper's setting of 8.
+func Fig13(s Scale) ([]Fig13Row, error) {
+	const (
+		h     = 90
+		ocmax = 8
+	)
+	campus := dataset.Campus(dataset.CampusConfig{N: s.CampusN})
+	if campus.Len() < h+200 {
+		return nil, fmt.Errorf("experiments: campus size %d too small for Fig. 13", campus.Len())
+	}
+	cleanVals := campus.Values()
+	svMax, err := clean.LearnSVMax(cleanVals[:h], ocmax)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig13Row
+	for _, count := range s.ErrorCounts {
+		if count > campus.Len()-h-1 {
+			continue
+		}
+		// Magnitude 8 sigma: extreme enough to be unambiguous errors, small
+		// enough that plain GARCH's exploded post-error bounds (Fig. 5a)
+		// swallow subsequent errors — the failure mode C-GARCH fixes.
+		dirty, injs, err := dataset.InjectErrors(campus, count, 8, h, int64(100+count))
+		if err != nil {
+			return nil, err
+		}
+		injected := map[int]bool{}
+		for _, inj := range injs {
+			injected[inj.Index] = true
+		}
+		vals := dirty.Values()
+		warmup, stream := vals[:h], vals[h:]
+
+		// C-GARCH.
+		metric, err := density.NewARMAGARCH(1, 0)
+		if err != nil {
+			return nil, err
+		}
+		startC := time.Now()
+		proc, err := clean.NewProcessor(clean.Config{Metric: metric, H: h, OCMax: ocmax, SVMax: svMax}, warmup)
+		if err != nil {
+			return nil, err
+		}
+		cg, err := proc.Run(stream)
+		if err != nil {
+			return nil, err
+		}
+		elapsedC := time.Since(startC)
+		capturedC := 0
+		for _, idx := range cg.DetectedIdx {
+			if injected[h+idx] {
+				capturedC++
+			}
+		}
+
+		// Plain ARMA-GARCH.
+		startG := time.Now()
+		plain, err := plainGARCHRun(metric, warmup, stream)
+		if err != nil {
+			return nil, err
+		}
+		elapsedG := time.Since(startG)
+		capturedG := 0
+		for i, st := range plain {
+			if st.Erroneous && injected[h+i] {
+				capturedG++
+			}
+		}
+
+		total := float64(len(injs))
+		rows = append(rows,
+			Fig13Row{ErrorCount: count, Method: "C-GARCH",
+				PercentCaptured: 100 * float64(capturedC) / total,
+				AvgTimeSec:      elapsedC.Seconds() / float64(len(stream))},
+			Fig13Row{ErrorCount: count, Method: "GARCH",
+				PercentCaptured: 100 * float64(capturedG) / total,
+				AvgTimeSec:      elapsedG.Seconds() / float64(len(stream))},
+		)
+	}
+	return rows, nil
+}

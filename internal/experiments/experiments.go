@@ -1,0 +1,179 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII). Each experiment is a pure function from a Scale
+// (dataset sizes, window strides, sweep grids) to typed result rows; the
+// cmd/experiments binary renders them as text tables and bench_test.go wraps
+// them in testing.B benchmarks.
+//
+// Two standard scales are provided: Full reproduces the paper's parameters
+// (18 031-sample campus-data, 10 473-sample car-data, H sweeps to 180), and
+// Quick shrinks everything so the whole suite finishes in seconds — the
+// relative shapes (who wins, by what factor) are preserved at both scales.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/density"
+	"repro/internal/timeseries"
+)
+
+// Scale bundles the experiment parameters.
+type Scale struct {
+	Name string
+
+	// Dataset sizes.
+	CampusN int
+	CarN    int
+
+	// Stride between evaluated windows in the density-distance and timing
+	// sweeps (1 = every window, the paper's setting).
+	Stride int
+
+	// Window sizes for the Fig. 10/11 sweeps.
+	Windows []int
+
+	// Model orders for the Fig. 12 sweep.
+	ModelOrders []int
+
+	// UT thresholds per dataset (the paper's "user-defined threshold").
+	CampusUTThreshold float64
+	CarUTThreshold    float64
+
+	// Injected error counts for Fig. 13.
+	ErrorCounts []int
+
+	// Database sizes (tuples) for Fig. 14a.
+	DBSizes []int
+
+	// Maximum ratio thresholds D_s for Fig. 14b.
+	MaxRatios []float64
+
+	// View parameters and Hellinger constraint for Fig. 14 (paper:
+	// delta=0.05, n=300, H'=0.01).
+	Delta              float64
+	OmegaN             int
+	DistanceConstraint float64
+
+	// ARCH-test configuration for Fig. 15 (paper: 1800 windows of H=180).
+	ARCHWindows    int
+	ARCHWindowSize int
+	ARCHMaxLag     int
+
+	// Timing repetitions for stable wall-clock measurements.
+	TimingReps int
+}
+
+// Full reproduces the paper's experimental parameters.
+var Full = Scale{
+	Name:               "full",
+	CampusN:            dataset.CampusSize,
+	CarN:               dataset.CarSize,
+	Stride:             10,
+	Windows:            []int{30, 60, 90, 120, 150, 180},
+	ModelOrders:        []int{2, 4, 6, 8},
+	CampusUTThreshold:  1.0,
+	CarUTThreshold:     25,
+	ErrorCounts:        []int{5, 25, 125, 625},
+	DBSizes:            []int{6000, 10000, 14000, 18000},
+	MaxRatios:          []float64{2000, 4000, 8000, 16000},
+	Delta:              0.05,
+	OmegaN:             300,
+	DistanceConstraint: 0.01,
+	ARCHWindows:        1800,
+	ARCHWindowSize:     180,
+	ARCHMaxLag:         8,
+	TimingReps:         3,
+}
+
+// Quick shrinks the suite for tests and smoke runs.
+var Quick = Scale{
+	Name:               "quick",
+	CampusN:            2400,
+	CarN:               2400,
+	Stride:             25,
+	Windows:            []int{30, 60, 90},
+	ModelOrders:        []int{2, 4, 6},
+	CampusUTThreshold:  1.0,
+	CarUTThreshold:     25,
+	ErrorCounts:        []int{5, 25},
+	DBSizes:            []int{500, 1000, 2000},
+	MaxRatios:          []float64{2000, 4000, 8000, 16000},
+	Delta:              0.05,
+	OmegaN:             300,
+	DistanceConstraint: 0.01,
+	ARCHWindows:        120,
+	ARCHWindowSize:     180,
+	ARCHMaxLag:         8,
+	TimingReps:         1,
+}
+
+// datasets caches the two generated series per scale so experiments that
+// share them do not regenerate.
+type datasets struct {
+	campus *timeseries.Series
+	car    *timeseries.Series
+}
+
+func (s Scale) load() datasets {
+	return datasets{
+		campus: dataset.Campus(dataset.CampusConfig{N: s.CampusN}),
+		car:    dataset.Car(dataset.CarConfig{N: s.CarN}),
+	}
+}
+
+// metricSet builds the four dynamic density metrics compared in Fig. 10/11
+// for the given dataset ("campus" or "car") and ARMA order p.
+func (s Scale) metricSet(ds string, p int) (map[string]density.Metric, error) {
+	u := s.CampusUTThreshold
+	if ds == "car" {
+		u = s.CarUTThreshold
+	}
+	ut, err := density.NewUniformThresholding(p, 0, u)
+	if err != nil {
+		return nil, err
+	}
+	vt, err := density.NewVariableThresholding(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	ag, err := density.NewARMAGARCH(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	kg := density.NewKalmanGARCH()
+	return map[string]density.Metric{
+		"UT":           ut,
+		"VT":           vt,
+		"ARMA-GARCH":   ag,
+		"Kalman-GARCH": kg,
+	}, nil
+}
+
+// MetricOrder is the canonical presentation order of the compared metrics.
+var MetricOrder = []string{"UT", "VT", "ARMA-GARCH", "Kalman-GARCH"}
+
+// timeIt measures the wall-clock duration of fn averaged over reps runs.
+func timeIt(reps int, fn func() error) (time.Duration, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(reps), nil
+}
+
+// checkWindows validates a window sweep against a series length.
+func checkWindows(windows []int, n int) error {
+	for _, h := range windows {
+		if h >= n-1 {
+			return fmt.Errorf("experiments: window %d too large for series of %d", h, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The experiment tests run at Quick scale and assert the paper's qualitative
+// claims (the "shapes"): who wins, in which direction, with sane magnitudes.
+
+func TestTableII(t *testing.T) {
+	rows, err := TableII(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Name != "campus-data" || rows[1].Name != "car-data" {
+		t.Errorf("rows: %+v", rows)
+	}
+	if rows[0].N != Quick.CampusN || rows[1].N != Quick.CarN {
+		t.Errorf("sizes: %d, %d", rows[0].N, rows[1].N)
+	}
+}
+
+func TestFig10GARCHMetricsBeatNaive(t *testing.T) {
+	rows, err := Fig10(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate mean distance per metric per dataset.
+	type key struct{ ds, metric string }
+	sums := map[key]float64{}
+	counts := map[key]int{}
+	for _, r := range rows {
+		k := key{r.Dataset, r.Metric}
+		sums[k] += r.Distance
+		counts[k]++
+		if r.Distance < 0 || r.N == 0 {
+			t.Errorf("bad row: %+v", r)
+		}
+	}
+	mean := func(ds, m string) float64 {
+		k := key{ds, m}
+		if counts[k] == 0 {
+			t.Fatalf("no rows for %s/%s", ds, m)
+		}
+		return sums[k] / float64(counts[k])
+	}
+	for _, ds := range []string{"campus", "car"} {
+		ag := mean(ds, "ARMA-GARCH")
+		ut := mean(ds, "UT")
+		// The paper's headline: the advanced metrics dominate the naive
+		// ones, by large factors on campus-data.
+		if ag >= ut {
+			t.Errorf("%s: ARMA-GARCH (%v) not better than UT (%v)", ds, ag, ut)
+		}
+	}
+}
+
+func TestFig11KalmanSlowest(t *testing.T) {
+	rows, err := Fig11(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range rows {
+		if r.AvgInferSec <= 0 {
+			t.Errorf("non-positive timing: %+v", r)
+		}
+		sums[r.Metric] += r.AvgInferSec
+		counts[r.Metric]++
+	}
+	kg := sums["Kalman-GARCH"] / float64(counts["Kalman-GARCH"])
+	ag := sums["ARMA-GARCH"] / float64(counts["ARMA-GARCH"])
+	ut := sums["UT"] / float64(counts["UT"])
+	// Paper: Kalman-GARCH is 5.1-18.6x slower than ARMA-GARCH (EM).
+	if kg < 1.5*ag {
+		t.Errorf("Kalman-GARCH (%v) not clearly slower than ARMA-GARCH (%v)", kg, ag)
+	}
+	// Naive metrics are at most marginally cheaper than ARMA-GARCH and far
+	// cheaper than Kalman-GARCH.
+	if ut > kg {
+		t.Errorf("UT (%v) slower than Kalman-GARCH (%v)", ut, kg)
+	}
+}
+
+func TestFig12DistanceGrowsWithOrder(t *testing.T) {
+	rows, err := Fig12(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract the ARMA-GARCH series ordered by p.
+	dist := map[int]float64{}
+	for _, r := range rows {
+		if r.Metric == "ARMA-GARCH" {
+			dist[r.P] = r.Distance
+		}
+	}
+	if len(dist) != len(Quick.ModelOrders) {
+		t.Fatalf("missing orders: %v", dist)
+	}
+	// The paper reports increasing distance with order. Requiring strict
+	// monotonicity is brittle; require the largest order to be no better
+	// than the smallest.
+	pMin, pMax := Quick.ModelOrders[0], Quick.ModelOrders[len(Quick.ModelOrders)-1]
+	if dist[pMax] < dist[pMin]*0.9 {
+		t.Errorf("distance at p=%d (%v) much lower than at p=%d (%v)",
+			pMax, dist[pMax], pMin, dist[pMin])
+	}
+}
+
+func TestFig5CGARCHBoundsStaySane(t *testing.T) {
+	rows, err := Fig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	injectedSeen := 0
+	maxGARCHWidth, maxCGARCHWidth := 0.0, 0.0
+	for _, r := range rows {
+		if r.Injected {
+			injectedSeen++
+		}
+		if w := r.GARCHUB - r.GARCHLB; w > maxGARCHWidth {
+			maxGARCHWidth = w
+		}
+		if w := r.CGARCHUB - r.CGARCHLB; w > maxCGARCHWidth {
+			maxCGARCHWidth = w
+		}
+	}
+	if injectedSeen != 2 {
+		t.Errorf("%d injected values in trace, want 2", injectedSeen)
+	}
+	// The paper's Fig. 5a failure: GARCH bounds explode after the error
+	// enters the window, while C-GARCH bounds stay tight.
+	if maxGARCHWidth < 3*maxCGARCHWidth {
+		t.Errorf("GARCH max width %v vs C-GARCH %v: no failure visible", maxGARCHWidth, maxCGARCHWidth)
+	}
+}
+
+func TestFig13CGARCHDetectsMore(t *testing.T) {
+	rows, err := Fig13(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCount := map[int]map[string]Fig13Row{}
+	for _, r := range rows {
+		if byCount[r.ErrorCount] == nil {
+			byCount[r.ErrorCount] = map[string]Fig13Row{}
+		}
+		byCount[r.ErrorCount][r.Method] = r
+	}
+	for count, methods := range byCount {
+		cg, okC := methods["C-GARCH"]
+		g, okG := methods["GARCH"]
+		if !okC || !okG {
+			t.Fatalf("missing method rows for count %d", count)
+		}
+		if cg.PercentCaptured < g.PercentCaptured {
+			t.Errorf("count %d: C-GARCH %.1f%% < GARCH %.1f%%",
+				count, cg.PercentCaptured, g.PercentCaptured)
+		}
+		if cg.PercentCaptured <= 0 {
+			t.Errorf("count %d: C-GARCH captured nothing", count)
+		}
+		// Fig. 13b: C-GARCH is not dramatically more expensive.
+		if cg.AvgTimeSec > 10*g.AvgTimeSec {
+			t.Errorf("count %d: C-GARCH %vs per value vs GARCH %vs", count, cg.AvgTimeSec, g.AvgTimeSec)
+		}
+	}
+}
+
+func TestFig14aCacheFaster(t *testing.T) {
+	rows, err := Fig14a(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bysize := map[int]map[string]Fig14aRow{}
+	for _, r := range rows {
+		if bysize[r.DBSize] == nil {
+			bysize[r.DBSize] = map[string]Fig14aRow{}
+		}
+		bysize[r.DBSize][r.Method] = r
+	}
+	largest := 0
+	for size := range bysize {
+		if size > largest {
+			largest = size
+		}
+	}
+	naive := bysize[largest]["naive"]
+	cached := bysize[largest]["sigma-cache"]
+	if naive.TimeMS <= 0 || cached.TimeMS <= 0 {
+		t.Fatalf("timings: %+v %+v", naive, cached)
+	}
+	// Paper: ~9.6x at 18K tuples; at quick scale require at least 2x.
+	if cached.Speedup < 2 {
+		t.Errorf("speedup at %d tuples = %.2fx (naive %.2fms, cache %.2fms)",
+			largest, cached.Speedup, naive.TimeMS, cached.TimeMS)
+	}
+}
+
+func TestFig14bLogarithmicGrowth(t *testing.T) {
+	rows, err := Fig14b(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Doubling D_s adds ~constant entries (logarithmic growth).
+	var deltas []int
+	for i := 1; i < len(rows); i++ {
+		d := rows[i].Entries - rows[i-1].Entries
+		if d < 1 {
+			t.Fatalf("cache did not grow: %+v", rows)
+		}
+		deltas = append(deltas, d)
+	}
+	for i := 1; i < len(deltas); i++ {
+		if abs(deltas[i]-deltas[0]) > 2 {
+			t.Errorf("increments not constant: %v", deltas)
+		}
+	}
+	for _, r := range rows {
+		if r.CacheKB <= 0 {
+			t.Errorf("zero cache size: %+v", r)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFig15VolatilityTestShapes(t *testing.T) {
+	rows, err := Fig15(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]map[int]Fig15Row{"campus": {}, "car": {}}
+	for _, r := range rows {
+		if r.Statistic < 0 {
+			t.Errorf("negative statistic: %+v", r)
+		}
+		if r.Critical <= 0 {
+			t.Errorf("bad critical value: %+v", r)
+		}
+		stats[r.Dataset][r.M] = r
+	}
+	// Both datasets must show clear time-varying volatility at the low lag
+	// orders that drive the GARCH(1,1) choice. (At high m the conditional-
+	// Gaussian noise in a^2 caps the achievable statistic — see
+	// EXPERIMENTS.md — so the full-m rejection of the paper is asserted
+	// only for m <= 4.)
+	for _, ds := range []string{"campus", "car"} {
+		for m := 1; m <= 4; m++ {
+			r, ok := stats[ds][m]
+			if !ok {
+				t.Fatalf("missing %s m=%d", ds, m)
+			}
+			if !r.Reject {
+				t.Errorf("%s m=%d: Phi=%v did not reject (crit %v)", ds, m, r.Statistic, r.Critical)
+			}
+		}
+	}
+	// campus-data has the stronger volatility clustering (the paper's
+	// Fig. 15b observation that car-data is closer to the critical line).
+	if stats["campus"][1].Statistic <= stats["car"][1].Statistic {
+		t.Errorf("campus Phi(1)=%v not above car Phi(1)=%v",
+			stats["campus"][1].Statistic, stats["car"][1].Statistic)
+	}
+}
+
+func TestFig4VolatilityRegions(t *testing.T) {
+	rows, err := Fig4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Campus must show strong variance contrast (Region A vs Region B).
+	var campusVars []float64
+	for _, r := range rows {
+		if r.Dataset == "campus" {
+			campusVars = append(campusVars, r.Variance)
+		}
+	}
+	if len(campusVars) == 0 {
+		t.Fatal("no campus rows")
+	}
+	lo, hi := campusVars[0], campusVars[0]
+	for _, v := range campusVars {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi < 3*lo {
+		t.Errorf("campus variance contrast too weak: [%v, %v]", lo, hi)
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"repro/internal/arma"
+	"repro/internal/garch"
+	"repro/internal/mathx"
+	"repro/internal/stat"
+	"repro/internal/timeseries"
+)
+
+// Fig4Row is one rolling-variance point of the changing-volatility
+// illustration (Fig. 4).
+type Fig4Row struct {
+	Dataset  string
+	Index    int
+	Variance float64
+}
+
+// Fig4 computes the rolling windowed variance of both datasets, the signal
+// whose high/low regions the paper marks as Region A / Region B.
+func Fig4(s Scale) ([]Fig4Row, error) {
+	d := s.load()
+	const w = 90
+	var rows []Fig4Row
+	for _, ds := range []struct {
+		name   string
+		series *timeseries.Series
+	}{{"campus", d.campus}, {"car", d.car}} {
+		vals := ds.series.Values()
+		if ds.name == "car" {
+			// Variance of position is dominated by motion; the volatility
+			// signal lives in the increments.
+			vals = ds.series.Diff()
+		}
+		vars, err := stat.RollingVariance(vals, w)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(vars); i += s.Stride {
+			rows = append(rows, Fig4Row{Dataset: ds.name, Index: i, Variance: vars[i]})
+		}
+	}
+	return rows, nil
+}
+
+// Fig15Row is one point of the time-varying volatility test (Fig. 15).
+type Fig15Row struct {
+	Dataset   string
+	M         int     // regression lag order
+	Statistic float64 // Phi(m) averaged over windows (Eq. 16)
+	Critical  float64 // chi^2_m(0.05)
+	Reject    bool    // whether the averaged statistic rejects the null
+}
+
+// Fig15 runs the null-hypothesis test of Section VII-D: for m = 1..ARCHMaxLag
+// it averages Phi(m) over ARCHWindows windows of ARCHWindowSize samples and
+// compares against the chi-square critical value. Rejection establishes
+// time-varying volatility.
+func Fig15(s Scale) ([]Fig15Row, error) {
+	d := s.load()
+	const alpha = 0.05
+	var rows []Fig15Row
+	for _, ds := range []struct {
+		name   string
+		series *timeseries.Series
+	}{{"campus", d.campus}, {"car", d.car}} {
+		vals := ds.series.Values()
+		h := s.ARCHWindowSize
+		if h >= len(vals) {
+			h = len(vals) / 2
+		}
+		// Evenly spaced windows across the series.
+		numWindows := s.ARCHWindows
+		maxStart := len(vals) - h - 1
+		if numWindows > maxStart {
+			numWindows = maxStart
+		}
+		if numWindows < 1 {
+			numWindows = 1
+		}
+		step := maxStart / numWindows
+		if step < 1 {
+			step = 1
+		}
+
+		for m := 1; m <= s.ARCHMaxLag; m++ {
+			var acc stat.Accumulator
+			for start := 0; start <= maxStart && acc.N() < numWindows; start += step {
+				window := vals[start : start+h]
+				// Errors a_i from an ARMA model on the window (Eq. 15 uses
+				// the ARMA residuals).
+				model, err := arma.Fit(window, 1, 0)
+				if err != nil {
+					return nil, err
+				}
+				resid := model.ResidualsOf(window)[1:]
+				res, err := garch.ARCHTest(resid, m, alpha)
+				if err != nil {
+					return nil, err
+				}
+				acc.Add(res.Statistic)
+			}
+			crit, err := mathx.ChiSquaredQuantile(1-alpha, float64(m))
+			if err != nil {
+				return nil, err
+			}
+			avg := acc.Mean()
+			rows = append(rows, Fig15Row{
+				Dataset:   ds.name,
+				M:         m,
+				Statistic: avg,
+				Critical:  crit,
+				Reject:    avg > crit,
+			})
+		}
+	}
+	return rows, nil
+}

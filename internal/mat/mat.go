@@ -1,0 +1,349 @@
+// Package mat implements the small dense-matrix kernel used by the
+// statistical estimators in this repository (ordinary least squares, the
+// Kalman filter and its EM updates). It favours clarity and numerical
+// robustness over raw speed: the matrices involved are tiny (regression
+// designs with a handful of columns, 1x1 or 2x2 state covariances), so a
+// straightforward implementation with Householder QR and Cholesky
+// factorisations is both sufficient and easy to verify.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// Errors returned by the factorisations and solvers.
+var (
+	ErrShape       = errors.New("mat: dimension mismatch")
+	ErrSingular    = errors.New("mat: matrix is singular to working precision")
+	ErrNotSPD      = errors.New("mat: matrix is not symmetric positive definite")
+	ErrOutOfBounds = errors.New("mat: index out of bounds")
+)
+
+// NewDense creates an r x c matrix. If data is nil a zero matrix is
+// allocated; otherwise data must have length r*c and is used directly
+// (not copied).
+func NewDense(r, c int, data []float64) *Dense {
+	if r <= 0 || c <= 0 {
+		panic("mat: non-positive dimension")
+	}
+	if data == nil {
+		data = make([]float64, r*c)
+	}
+	if len(data) != r*c {
+		panic("mat: data length does not match dimensions")
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Dims returns the matrix dimensions.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(ErrOutOfBounds)
+	}
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(ErrOutOfBounds)
+	}
+	m.data[i*m.cols+j] = v
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows, nil)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Add returns a + b.
+func Add(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, ErrShape
+	}
+	out := NewDense(a.rows, a.cols, nil)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b.
+func Sub(a, b *Dense) (*Dense, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, ErrShape
+	}
+	out := NewDense(a.rows, a.cols, nil)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Dense) *Dense {
+	out := NewDense(a.rows, a.cols, nil)
+	for i := range a.data {
+		out.data[i] = s * a.data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product a * b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, ErrShape
+	}
+	out := NewDense(a.rows, b.cols, nil)
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			aik := a.data[i*a.cols+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*b.cols+j] += aik * b.data[k*b.cols+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product a * x.
+func MulVec(a *Dense, x []float64) ([]float64, error) {
+	if a.cols != len(x) {
+		return nil, ErrShape
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		s := 0.0
+		for j := 0; j < a.cols; j++ {
+			s += a.data[i*a.cols+j] * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// qr holds a Householder QR factorisation of an m x n matrix with m >= n.
+type qr struct {
+	a     *Dense    // packed R in the upper triangle, reflectors below
+	rdiag []float64 // diagonal of R
+}
+
+// factorQR computes the Householder QR factorisation. It returns ErrSingular
+// if any diagonal of R is (numerically) zero.
+func factorQR(a *Dense) (*qr, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, ErrShape
+	}
+	w := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder norm of column k below the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, w.At(i, k))
+		}
+		if nrm == 0 {
+			return nil, ErrSingular
+		}
+		if w.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			w.Set(i, k, w.At(i, k)/nrm)
+		}
+		w.Set(k, k, w.At(k, k)+1)
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += w.At(i, k) * w.At(i, j)
+			}
+			s = -s / w.At(k, k)
+			for i := k; i < m; i++ {
+				w.Set(i, j, w.At(i, j)+s*w.At(i, k))
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &qr{a: w, rdiag: rdiag}, nil
+}
+
+// solve computes the least-squares solution of A x = b using the stored
+// factorisation.
+func (f *qr) solve(b []float64) ([]float64, error) {
+	m, n := f.a.Dims()
+	if len(b) != m {
+		return nil, ErrShape
+	}
+	x := make([]float64, m)
+	copy(x, b)
+	// Apply Q^T.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.a.At(i, k) * x[i]
+		}
+		s = -s / f.a.At(k, k)
+		for i := k; i < m; i++ {
+			x[i] += s * f.a.At(i, k)
+		}
+	}
+	// Back substitution with R. Diagonals that are tiny relative to the
+	// largest diagonal indicate (numerical) rank deficiency.
+	maxR := 0.0
+	for _, r := range f.rdiag {
+		if a := math.Abs(r); a > maxR {
+			maxR = a
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		if math.Abs(f.rdiag[k]) <= 1e-13*maxR {
+			return nil, ErrSingular
+		}
+		x[k] /= f.rdiag[k]
+		for i := 0; i < k; i++ {
+			x[i] -= x[k] * f.a.At(i, k)
+		}
+	}
+	return x[:n], nil
+}
+
+// SolveLeastSquares returns argmin_x ||A x - b||_2 for an m x n design A with
+// m >= n and full column rank, via Householder QR.
+func SolveLeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := factorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.solve(b)
+}
+
+// Solve returns the solution of the square system A x = b via QR (which is
+// LU-free and tolerably stable for the small systems used here).
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	return SolveLeastSquares(a, b)
+}
+
+// Cholesky returns the lower-triangular factor L with A = L L^T for a
+// symmetric positive definite matrix A.
+func Cholesky(a *Dense) (*Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, ErrShape
+	}
+	l := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrNotSPD
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// Inverse returns the inverse of a square non-singular matrix.
+func Inverse(a *Dense) (*Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, ErrShape
+	}
+	inv := NewDense(n, n, nil)
+	e := make([]float64, n)
+	f, err := factorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Equal reports whether a and b have the same shape and agree elementwise to
+// within tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

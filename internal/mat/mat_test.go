@@ -1,0 +1,328 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseAndAccessors(t *testing.T) {
+	m := NewDense(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 {
+		t.Error("At returned wrong elements")
+	}
+	m.Set(1, 1, 42)
+	if m.At(1, 1) != 42 {
+		t.Error("Set did not stick")
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	assertPanics(t, func() { NewDense(0, 1, nil) }, "zero rows")
+	assertPanics(t, func() { NewDense(2, 2, []float64{1}) }, "bad data length")
+	m := NewDense(2, 2, nil)
+	assertPanics(t, func() { m.At(2, 0) }, "row out of bounds")
+	assertPanics(t, func() { m.Set(0, 2, 1) }, "col out of bounds")
+}
+
+func assertPanics(t *testing.T, f func(), msg string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic: %s", msg)
+		}
+	}()
+	f()
+}
+
+func TestIdentity(t *testing.T) {
+	i3 := Identity(3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := 0.0
+			if r == c {
+				want = 1
+			}
+			if i3.At(r, c) != want {
+				t.Errorf("I[%d,%d] = %v", r, c, i3.At(r, c))
+			}
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := NewDense(2, 2, []float64{1, 2, 3, 4})
+	b := NewDense(2, 2, []float64{5, 6, 7, 8})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(sum, NewDense(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Error("Add wrong")
+	}
+	diff, err := Sub(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(diff, NewDense(2, 2, []float64{4, 4, 4, 4}), 0) {
+		t.Error("Sub wrong")
+	}
+	if !Equal(Scale(2, a), NewDense(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Error("Scale wrong")
+	}
+	if _, err := Add(a, NewDense(1, 2, nil)); err != ErrShape {
+		t.Error("Add shape mismatch not detected")
+	}
+	if _, err := Sub(a, NewDense(2, 1, nil)); err != ErrShape {
+		t.Error("Sub shape mismatch not detected")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDense(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDense(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDense(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Mul = %v", got)
+	}
+	if _, err := Mul(a, a); err != ErrShape {
+		t.Error("Mul shape mismatch not detected")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewDense(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got, err := MulVec(a, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := MulVec(a, []float64{1}); err != ErrShape {
+		t.Error("MulVec shape mismatch not detected")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewDense(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.T()
+	if r, c := at.Dims(); r != 3 || c != 2 {
+		t.Fatalf("T dims = %d,%d", r, c)
+	}
+	if at.At(0, 1) != 4 || at.At(2, 0) != 3 {
+		t.Error("T wrong elements")
+	}
+}
+
+func TestSolveSquare(t *testing.T) {
+	a := NewDense(3, 3, []float64{
+		4, 1, 0,
+		1, 3, 1,
+		0, 1, 2,
+	})
+	xTrue := []float64{1, -2, 3}
+	b, err := MulVec(a, xTrue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewDense(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3x exactly: residual must be zero at LS solution.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewDense(len(xs), 2, nil)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2 + 3*x
+	}
+	coef, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-2) > 1e-10 || math.Abs(coef[1]-3) > 1e-10 {
+		t.Errorf("coef = %v", coef)
+	}
+}
+
+func TestSolveLeastSquaresResidualOrthogonality(t *testing.T) {
+	// With noise, the residual must be orthogonal to the column space.
+	a := NewDense(5, 2, []float64{
+		1, 0.1,
+		1, 1.3,
+		1, 2.2,
+		1, 2.9,
+		1, 4.5,
+	})
+	b := []float64{1.1, 3.8, 7.1, 9.0, 13.2}
+	coef, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, _ := MulVec(a, coef)
+	res := make([]float64, len(b))
+	for i := range b {
+		res[i] = b[i] - fitted[i]
+	}
+	// A^T r should be ~0.
+	atr, _ := MulVec(a.T(), res)
+	for i, v := range atr {
+		if math.Abs(v) > 1e-9 {
+			t.Errorf("A^T r[%d] = %v, want ~0", i, v)
+		}
+	}
+}
+
+func TestSolveLeastSquaresUnderdetermined(t *testing.T) {
+	a := NewDense(1, 2, []float64{1, 1})
+	if _, err := SolveLeastSquares(a, []float64{1}); err != ErrShape {
+		t.Error("expected shape error for m < n")
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := NewDense(3, 3, []float64{
+		4, 2, 2,
+		2, 5, 3,
+		2, 3, 6,
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llt, err := Mul(l, l.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(llt, a, 1e-10) {
+		t.Errorf("L L^T != A:\n%v", llt)
+	}
+	// Upper triangle of L must be zero.
+	if l.At(0, 1) != 0 || l.At(0, 2) != 0 || l.At(1, 2) != 0 {
+		t.Error("Cholesky factor is not lower triangular")
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a := NewDense(2, 2, []float64{1, 2, 2, 1}) // indefinite
+	if _, err := Cholesky(a); err != ErrNotSPD {
+		t.Errorf("expected ErrNotSPD, got %v", err)
+	}
+	if _, err := Cholesky(NewDense(2, 3, nil)); err != ErrShape {
+		t.Error("expected shape error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewDense(3, 3, []float64{
+		2, 0, 1,
+		1, 3, 2,
+		1, 1, 4,
+	})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := Mul(a, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(prod, Identity(3), 1e-10) {
+		t.Errorf("A * A^-1 != I:\n%v", prod)
+	}
+	if _, err := Inverse(NewDense(2, 3, nil)); err != ErrShape {
+		t.Error("expected shape error")
+	}
+	if _, err := Inverse(NewDense(2, 2, []float64{1, 1, 1, 1})); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewDense(2, 2, []float64{1, 2, 3, 4})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	s := NewDense(2, 2, []float64{1, 2, 3, 4}).String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: (A^T)^T == A for random shapes.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(vals [9]float64) bool {
+		a := NewDense(3, 3, vals[:])
+		return Equal(a.T().T(), a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solving A x = b for SPD A reproduces b.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(v1, v2, v3, b1, b2, b3 float64) bool {
+		norm := func(x float64) float64 { return math.Mod(math.Abs(x), 10) + 0.5 }
+		// Build a diagonally dominant (hence nonsingular) matrix.
+		a := NewDense(3, 3, []float64{
+			norm(v1) + 10, 1, 2,
+			1, norm(v2) + 10, 3,
+			2, 3, norm(v3) + 10,
+		})
+		clip := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(x, 1e6)
+		}
+		b := []float64{clip(b1), clip(b2), clip(b3)}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		back, err := MulVec(a, x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-6*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

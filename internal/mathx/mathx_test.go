@@ -1,0 +1,400 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormCDFReferenceValues(t *testing.T) {
+	// Reference values from the standard normal table (15 digits computed
+	// with an independent high-precision implementation).
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.841344746068543},
+		{-1, 0.158655253931457},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.998650101968370},
+		{-3, 0.001349898031630},
+		{6, 0.999999999013412},
+	}
+	for _, c := range cases {
+		got := StdNormCDF(c.z)
+		if !AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("StdNormCDF(%v) = %.15f, want %.15f", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormPDFReferenceValues(t *testing.T) {
+	if got := NormPDF(0, 0, 1); !AlmostEqual(got, 0.398942280401433, 1e-12) {
+		t.Errorf("NormPDF(0,0,1) = %v", got)
+	}
+	if got := NormPDF(2, 1, 2); !AlmostEqual(got, 0.176032663382150, 1e-12) {
+		t.Errorf("NormPDF(2,1,2) = %v", got)
+	}
+	if got := NormPDF(0, 0, -1); got != 0 {
+		t.Errorf("NormPDF with sigma<0 = %v, want 0", got)
+	}
+}
+
+func TestNormCDFDegenerateSigma(t *testing.T) {
+	if got := NormCDF(1, 2, 0); got != 0 {
+		t.Errorf("point mass below mean: got %v", got)
+	}
+	if got := NormCDF(3, 2, 0); got != 1 {
+		t.Errorf("point mass above mean: got %v", got)
+	}
+	if got := NormCDF(2, 2, 0); got != 1 {
+		t.Errorf("point mass at mean: got %v", got)
+	}
+}
+
+func TestStdNormQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-12, 1e-6, 0.01, 0.025, 0.3, 0.5, 0.7, 0.975, 0.99, 1 - 1e-6} {
+		z := StdNormQuantile(p)
+		back := StdNormCDF(z)
+		if !AlmostEqual(back, p, 1e-10) {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, back)
+		}
+	}
+}
+
+func TestStdNormQuantileEdgeCases(t *testing.T) {
+	if !math.IsInf(StdNormQuantile(0), -1) {
+		t.Error("Quantile(0) should be -Inf")
+	}
+	if !math.IsInf(StdNormQuantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+	if !math.IsNaN(StdNormQuantile(-0.1)) || !math.IsNaN(StdNormQuantile(1.1)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+	if !math.IsNaN(StdNormQuantile(math.NaN())) {
+		t.Error("Quantile(NaN) should be NaN")
+	}
+}
+
+func TestStdNormQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.841344746068543, 1},
+	}
+	for _, c := range cases {
+		if got := StdNormQuantile(c.p); !AlmostEqual(got, c.want, 1e-9) {
+			t.Errorf("StdNormQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormQuantileRoundTrip(t *testing.T) {
+	got := NormQuantile(0.975, 10, 2)
+	want := 10 + 2*1.959963984540054
+	if !AlmostEqual(got, want, 1e-9) {
+		t.Errorf("NormQuantile = %v, want %v", got, want)
+	}
+}
+
+func TestNormIntervalMatchesCDFDifference(t *testing.T) {
+	cases := []struct{ a, b, mu, sigma float64 }{
+		{-1, 1, 0, 1},
+		{0, 2, 1, 0.5},
+		{5, 9, 0, 2},   // both in upper tail
+		{-9, -5, 0, 2}, // both in lower tail
+	}
+	for _, c := range cases {
+		got := NormInterval(c.a, c.b, c.mu, c.sigma)
+		want := NormCDF(c.b, c.mu, c.sigma) - NormCDF(c.a, c.mu, c.sigma)
+		if !AlmostEqual(got, want, 1e-12) {
+			t.Errorf("NormInterval(%v,%v) = %v, want %v", c.a, c.b, got, want)
+		}
+	}
+	if got := NormInterval(2, 1, 0, 1); got != 0 {
+		t.Errorf("reversed interval should be 0, got %v", got)
+	}
+}
+
+func TestNormIntervalTailPrecision(t *testing.T) {
+	// P(8 < Z <= 9) is ~6.2e-16; the direct difference underflows to 0 while
+	// the tail-aware path keeps significant digits.
+	got := NormInterval(8, 9, 0, 1)
+	if got <= 0 {
+		t.Fatalf("far-tail interval should be positive, got %v", got)
+	}
+	want := 6.2198e-16
+	if math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("far-tail interval = %v, want ~%v", got, want)
+	}
+}
+
+func TestGammaRegPReferenceValues(t *testing.T) {
+	// Reference values computed independently (SciPy gammainc).
+	cases := []struct{ a, x, want float64 }{
+		{1, 1, 0.632120558828558},
+		{0.5, 0.5, 0.682689492137086},
+		{2, 3, 0.800851726528544},
+		{10, 5, 0.031828057306204},
+		{10, 20, 0.995004587691692},
+	}
+	for _, c := range cases {
+		got, err := GammaRegP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("GammaRegP(%v,%v): %v", c.a, c.x, err)
+		}
+		if !AlmostEqual(got, c.want, 1e-10) {
+			t.Errorf("GammaRegP(%v,%v) = %.15f, want %.15f", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaRegPQComplement(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 10, 50} {
+		for _, x := range []float64{0.1, 1, 5, 20, 100} {
+			p, err1 := GammaRegP(a, x)
+			q, err2 := GammaRegQ(a, x)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errors: %v %v", err1, err2)
+			}
+			if !AlmostEqual(p+q, 1, 1e-12) {
+				t.Errorf("P+Q != 1 for a=%v x=%v: %v", a, x, p+q)
+			}
+		}
+	}
+}
+
+func TestGammaRegDomainErrors(t *testing.T) {
+	if _, err := GammaRegP(-1, 1); err == nil {
+		t.Error("expected domain error for a<0")
+	}
+	if _, err := GammaRegP(1, -1); err == nil {
+		t.Error("expected domain error for x<0")
+	}
+	if _, err := GammaRegQ(0, 1); err == nil {
+		t.Error("expected domain error for a=0")
+	}
+	if p, err := GammaRegP(3, 0); err != nil || p != 0 {
+		t.Errorf("P(a,0) = %v, %v; want 0, nil", p, err)
+	}
+	if q, err := GammaRegQ(3, 0); err != nil || q != 1 {
+		t.Errorf("Q(a,0) = %v, %v; want 1, nil", q, err)
+	}
+}
+
+func TestChiSquaredCDFReferenceValues(t *testing.T) {
+	// chi^2 upper 5% critical values: CDF(crit, k) = 0.95.
+	crit := map[int]float64{
+		1: 3.841458820694124,
+		2: 5.991464547107979,
+		3: 7.814727903251179,
+		4: 9.487729036781154,
+		8: 15.50731305586545,
+	}
+	for k, x := range crit {
+		got, err := ChiSquaredCDF(x, float64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !AlmostEqual(got, 0.95, 1e-10) {
+			t.Errorf("ChiSquaredCDF(%v, %d) = %v, want 0.95", x, k, got)
+		}
+	}
+}
+
+func TestChiSquaredQuantileInvertsCDF(t *testing.T) {
+	for _, k := range []float64{1, 2, 5, 8, 30} {
+		for _, p := range []float64{0.01, 0.05, 0.5, 0.95, 0.99} {
+			x, err := ChiSquaredQuantile(p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ChiSquaredCDF(x, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !AlmostEqual(back, p, 1e-9) {
+				t.Errorf("k=%v p=%v: CDF(Quantile)=%v", k, p, back)
+			}
+		}
+	}
+}
+
+func TestChiSquaredQuantileEdges(t *testing.T) {
+	if x, err := ChiSquaredQuantile(0, 3); err != nil || x != 0 {
+		t.Errorf("Quantile(0) = %v, %v", x, err)
+	}
+	if x, err := ChiSquaredQuantile(1, 3); err != nil || !math.IsInf(x, 1) {
+		t.Errorf("Quantile(1) = %v, %v", x, err)
+	}
+	if _, err := ChiSquaredQuantile(0.5, -1); err == nil {
+		t.Error("expected domain error for k<0")
+	}
+	if _, err := ChiSquaredQuantile(2, 3); err == nil {
+		t.Error("expected domain error for p>1")
+	}
+}
+
+func TestHellingerNormalProperties(t *testing.T) {
+	// Identical distributions have distance 0.
+	h, err := HellingerNormal(1, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(h, 0, 1e-12) {
+		t.Errorf("H(same,same) = %v, want 0", h)
+	}
+	// Symmetry.
+	h1, _ := HellingerNormal(0, 1, 3, 2)
+	h2, _ := HellingerNormal(3, 2, 0, 1)
+	if !AlmostEqual(h1, h2, 1e-12) {
+		t.Errorf("asymmetric: %v vs %v", h1, h2)
+	}
+	// Bounded in [0, 1].
+	if h1 < 0 || h1 > 1 {
+		t.Errorf("H out of range: %v", h1)
+	}
+	// Far-apart means approach 1.
+	hFar, _ := HellingerNormal(0, 1, 1000, 1)
+	if hFar < 0.999 {
+		t.Errorf("far means should give H ~ 1, got %v", hFar)
+	}
+	if _, err := HellingerNormal(0, -1, 0, 1); err == nil {
+		t.Error("expected domain error for s1<=0")
+	}
+}
+
+func TestHellingerEqualMeanMatchesEq10(t *testing.T) {
+	// Eq. (10): H^2 = 1 - sqrt(2 s1 s2 / (s1^2+s2^2)).
+	for _, c := range [][2]float64{{1, 1}, {1, 2}, {0.5, 3}, {4, 4.00001}} {
+		h, err := HellingerEqualMean(c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Sqrt(1 - math.Sqrt(2*c[0]*c[1]/(c[0]*c[0]+c[1]*c[1])))
+		if !AlmostEqual(h, want, 1e-12) {
+			t.Errorf("H(%v,%v) = %v, want %v", c[0], c[1], h, want)
+		}
+	}
+}
+
+func TestRatioThresholdForDistanceSatisfiesConstraint(t *testing.T) {
+	// For any H' and any sigma, scaling by d_s must give Hellinger distance
+	// exactly H' (the theorem's bound is tight at d_s).
+	for _, hPrime := range []float64{0.001, 0.01, 0.05, 0.2, 0.5} {
+		ds, err := RatioThresholdForDistance(hPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds < 1 {
+			t.Errorf("d_s < 1 for H'=%v: %v", hPrime, ds)
+		}
+		h, err := HellingerEqualMean(1, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !AlmostEqual(h, hPrime, 1e-9) {
+			t.Errorf("H'=%v: distance at d_s = %v", hPrime, h)
+		}
+		// Any smaller ratio must give a smaller distance.
+		hSmaller, _ := HellingerEqualMean(1, 1+(ds-1)/2)
+		if hSmaller > hPrime {
+			t.Errorf("H'=%v: distance at smaller ratio %v exceeds constraint", hPrime, hSmaller)
+		}
+	}
+}
+
+func TestRatioThresholdForDistanceDomain(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		if _, err := RatioThresholdForDistance(bad); err == nil {
+			t.Errorf("expected domain error for H'=%v", bad)
+		}
+	}
+}
+
+func TestRatioThresholdForMemory(t *testing.T) {
+	// Ds = 16, Q' = 4 -> d_s = 2.
+	ds, err := RatioThresholdForMemory(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(ds, 2, 1e-12) {
+		t.Errorf("d_s = %v, want 2", ds)
+	}
+	if _, err := RatioThresholdForMemory(0.5, 4); err == nil {
+		t.Error("expected domain error for Ds<1")
+	}
+	if _, err := RatioThresholdForMemory(16, 0); err == nil {
+		t.Error("expected domain error for Q'<=0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1, 0) {
+		t.Error("identical values must compare equal")
+	}
+	if AlmostEqual(math.NaN(), 1, 1) {
+		t.Error("NaN must compare unequal")
+	}
+	if !AlmostEqual(1e20, 1e20*(1+1e-13), 1e-12) {
+		t.Error("relative comparison failed")
+	}
+	if AlmostEqual(1, 2, 1e-6) {
+		t.Error("distinct values compared equal")
+	}
+}
+
+// Property: the normal CDF is monotone non-decreasing.
+func TestQuickNormCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 50)
+		b = math.Mod(b, 50)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return StdNormCDF(lo) <= StdNormCDF(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile/CDF round trip within the bulk of the distribution.
+func TestQuickQuantileRoundTrip(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Abs(math.Mod(u, 1))
+		if p < 1e-10 || p > 1-1e-10 {
+			return true
+		}
+		z := StdNormQuantile(p)
+		return AlmostEqual(StdNormCDF(z), p, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Hellinger distance between equal-variance Gaussians is within
+// [0,1] and zero iff sigmas match.
+func TestQuickHellingerRange(t *testing.T) {
+	f := func(a, b float64) bool {
+		s1 := 0.1 + math.Abs(math.Mod(a, 100))
+		s2 := 0.1 + math.Abs(math.Mod(b, 100))
+		h, err := HellingerEqualMean(s1, s2)
+		if err != nil {
+			return false
+		}
+		return h >= 0 && h <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package probdb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// Aggregate queries over a time range of a tuple-independent probabilistic
+// view. Tuples at different timestamps are independent random variables (the
+// tuple-independence assumption of Definition 2), so conjunctions and
+// disjunctions across time multiply in the usual safe-plan fashion
+// (Dalvi & Suciu, reference [3] of the paper).
+
+// TimeSeriesPoint pairs a timestamp with a per-tuple scalar.
+type TimeSeriesPoint struct {
+	T     int64
+	Value float64
+}
+
+// ExpectedSeries returns the expected true value at every timestamp of the
+// view within [tLo, tHi] — the model-based view abstraction of MauveDB
+// (reference [25]) recovered from the probabilistic database.
+func ExpectedSeries(p *storage.ProbTable, tLo, tHi int64) ([]TimeSeriesPoint, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	var out []TimeSeriesPoint
+	for _, t := range p.Times() {
+		if t < tLo || t > tHi {
+			continue
+		}
+		e, err := Expected(p.RowsAt(t))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TimeSeriesPoint{T: t, Value: e})
+	}
+	if len(out) == 0 {
+		return nil, ErrNoRows
+	}
+	return out, nil
+}
+
+// ProbSeries returns P(lo < R_t <= hi) at every timestamp of the view within
+// [tLo, tHi].
+func ProbSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]TimeSeriesPoint, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	var out []TimeSeriesPoint
+	for _, t := range p.Times() {
+		if t < tLo || t > tHi {
+			continue
+		}
+		pr, err := RangeProb(p.RowsAt(t), lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TimeSeriesPoint{T: t, Value: pr})
+	}
+	if len(out) == 0 {
+		return nil, ErrNoRows
+	}
+	return out, nil
+}
+
+// ExpectedCount returns the expected number of timestamps in [tLo, tHi]
+// whose true value lies in (lo, hi]: the sum of per-tuple probabilities
+// (linearity of expectation, no independence needed).
+func ExpectedCount(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+	series, err := ProbSeries(p, tLo, tHi, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, pt := range series {
+		sum += pt.Value
+	}
+	return sum, nil
+}
+
+// AnyInRange returns P(at least one R_t in (lo, hi]) over [tLo, tHi] under
+// tuple independence: 1 - prod(1 - p_t).
+func AnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+	series, err := ProbSeries(p, tLo, tHi, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	// Work in log space to stay accurate when many tuples are involved.
+	logNone := 0.0
+	for _, pt := range series {
+		q := 1 - pt.Value
+		if q <= 0 {
+			return 1, nil
+		}
+		logNone += math.Log(q)
+	}
+	return 1 - math.Exp(logNone), nil
+}
+
+// AllInRange returns P(every R_t in (lo, hi]) over [tLo, tHi] under tuple
+// independence: prod(p_t).
+func AllInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+	series, err := ProbSeries(p, tLo, tHi, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	logAll := 0.0
+	for _, pt := range series {
+		if pt.Value <= 0 {
+			return 0, nil
+		}
+		logAll += math.Log(pt.Value)
+	}
+	return math.Exp(logAll), nil
+}
+
+// ExceedanceCountDistribution returns the probability mass function of the
+// number of timestamps in [tLo, tHi] whose value lies in (lo, hi], computed
+// by the exact Poisson-binomial dynamic program over the per-tuple
+// probabilities. Entry k of the result is P(count = k).
+func ExceedanceCountDistribution(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]float64, error) {
+	series, err := ProbSeries(p, tLo, tHi, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	pmf := make([]float64, len(series)+1)
+	pmf[0] = 1
+	for _, pt := range series {
+		q := pt.Value
+		for k := len(pmf) - 1; k >= 1; k-- {
+			pmf[k] = pmf[k]*(1-q) + pmf[k-1]*q
+		}
+		pmf[0] *= 1 - q
+	}
+	return pmf, nil
+}
+
+// CountAtLeast returns P(count >= k) from the Poisson-binomial distribution
+// of ExceedanceCountDistribution.
+func CountAtLeast(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, k int) (float64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("%w: k=%d", ErrBadArg, k)
+	}
+	pmf, err := ExceedanceCountDistribution(p, tLo, tHi, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	if k >= len(pmf) {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := k; i < len(pmf); i++ {
+		sum += pmf[i]
+	}
+	if sum > 1 {
+		sum = 1 // rounding guard
+	}
+	return sum, nil
+}

@@ -1,0 +1,212 @@
+// Package probdb implements probabilistic queries over the tuple-level
+// probabilistic databases produced by the Omega-view builder — the consumers
+// that motivate the paper's pipeline (Section I: the output "can be directly
+// consumed by a wide variety of existing probabilistic queries").
+//
+// Queries operate on the view rows of a single timestamp (a tuple-independent
+// discrete distribution over Omega ranges): range probability, probability
+// thresholding, top-k ranges, expected value, and bucketed queries such as
+// "which room is Alice in" (Fig. 1).
+package probdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/view"
+)
+
+// Errors reported by the queries.
+var (
+	ErrNoRows = errors.New("probdb: no view rows for the requested time")
+	ErrBadArg = errors.New("probdb: invalid argument")
+)
+
+// RangeProb returns P(lo < R <= hi) at the tuple described by rows: the
+// summed probability of every Omega range, counting partial overlaps
+// proportionally (the within-range distribution is treated as uniform, the
+// standard refinement for bucketed probabilities).
+func RangeProb(rows []view.Row, lo, hi float64) (float64, error) {
+	if len(rows) == 0 {
+		return 0, ErrNoRows
+	}
+	if !(lo <= hi) || math.IsNaN(lo) || math.IsNaN(hi) {
+		return 0, fmt.Errorf("%w: range [%v, %v]", ErrBadArg, lo, hi)
+	}
+	total := 0.0
+	for _, r := range rows {
+		overlapLo := math.Max(lo, r.Lo)
+		overlapHi := math.Min(hi, r.Hi)
+		if overlapHi <= overlapLo {
+			continue
+		}
+		frac := (overlapHi - overlapLo) / (r.Hi - r.Lo)
+		total += frac * r.Prob
+	}
+	return total, nil
+}
+
+// Threshold returns the Omega ranges whose probability is at least p — the
+// probabilistic threshold query of Cheng et al. ([1], [14] in the paper).
+func Threshold(rows []view.Row, p float64) ([]view.Row, error) {
+	if len(rows) == 0 {
+		return nil, ErrNoRows
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("%w: threshold %v", ErrBadArg, p)
+	}
+	var out []view.Row
+	for _, r := range rows {
+		if r.Prob >= p {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// TopK returns the k most probable Omega ranges in descending probability
+// order (ties broken by lambda for determinism).
+func TopK(rows []view.Row, k int) ([]view.Row, error) {
+	if len(rows) == 0 {
+		return nil, ErrNoRows
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadArg, k)
+	}
+	sorted := make([]view.Row, len(rows))
+	copy(sorted, rows)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Prob != sorted[j].Prob {
+			return sorted[i].Prob > sorted[j].Prob
+		}
+		return sorted[i].Lambda < sorted[j].Lambda
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k], nil
+}
+
+// Expected returns the expected value of the bucketed distribution (range
+// midpoints weighted by probability, normalised by total mass so truncation
+// of the Gaussian tails does not bias the estimate).
+func Expected(rows []view.Row) (float64, error) {
+	if len(rows) == 0 {
+		return 0, ErrNoRows
+	}
+	num, den := 0.0, 0.0
+	for _, r := range rows {
+		mid := (r.Lo + r.Hi) / 2
+		num += mid * r.Prob
+		den += r.Prob
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("%w: zero total probability", ErrBadArg)
+	}
+	return num / den, nil
+}
+
+// Bucket is a named value interval, e.g. a room in the indoor-tracking
+// example of Fig. 1.
+type Bucket struct {
+	Name   string
+	Lo, Hi float64
+}
+
+// BucketProb is the probability that the true value lies in a bucket.
+type BucketProb struct {
+	Bucket Bucket
+	Prob   float64
+}
+
+// BucketQuery returns the probability of each bucket (descending), the
+// "probability that Alice could be found in each of the four rooms" query.
+// Buckets may overlap; probabilities are computed independently.
+func BucketQuery(rows []view.Row, buckets []Bucket) ([]BucketProb, error) {
+	if len(rows) == 0 {
+		return nil, ErrNoRows
+	}
+	if len(buckets) == 0 {
+		return nil, fmt.Errorf("%w: no buckets", ErrBadArg)
+	}
+	out := make([]BucketProb, 0, len(buckets))
+	for _, b := range buckets {
+		if !(b.Lo <= b.Hi) {
+			return nil, fmt.Errorf("%w: bucket %q [%v, %v]", ErrBadArg, b.Name, b.Lo, b.Hi)
+		}
+		p, err := RangeProb(rows, b.Lo, b.Hi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BucketProb{Bucket: b, Prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Bucket.Name < out[j].Bucket.Name
+	})
+	return out, nil
+}
+
+// MostLikelyBucket returns the highest-probability bucket.
+func MostLikelyBucket(rows []view.Row, buckets []Bucket) (BucketProb, error) {
+	ps, err := BucketQuery(rows, buckets)
+	if err != nil {
+		return BucketProb{}, err
+	}
+	return ps[0], nil
+}
+
+// Quantile returns the q-quantile (0 < q < 1) of the bucketed distribution:
+// the value below which a fraction q of the (normalised) probability mass
+// lies, interpolating linearly within the bucket that straddles q. Rows must
+// be in ascending range order (the order the view builder emits).
+func Quantile(rows []view.Row, q float64) (float64, error) {
+	if len(rows) == 0 {
+		return 0, ErrNoRows
+	}
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("%w: quantile %v", ErrBadArg, q)
+	}
+	total := 0.0
+	for _, r := range rows {
+		total += r.Prob
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("%w: zero total probability", ErrBadArg)
+	}
+	target := q * total
+	run := 0.0
+	for _, r := range rows {
+		if run+r.Prob >= target {
+			if r.Prob == 0 {
+				return r.Lo, nil
+			}
+			frac := (target - run) / r.Prob
+			return r.Lo + frac*(r.Hi-r.Lo), nil
+		}
+		run += r.Prob
+	}
+	return rows[len(rows)-1].Hi, nil
+}
+
+// CredibleInterval returns the central credible interval covering fraction
+// level (e.g. 0.95) of the bucketed distribution's mass.
+func CredibleInterval(rows []view.Row, level float64) (lo, hi float64, err error) {
+	if level <= 0 || level >= 1 || math.IsNaN(level) {
+		return 0, 0, fmt.Errorf("%w: level %v", ErrBadArg, level)
+	}
+	tail := (1 - level) / 2
+	lo, err = Quantile(rows, tail)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = Quantile(rows, 1-tail)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,86 @@
+package query
+
+// Stmt is a parsed statement.
+type Stmt interface {
+	stmt()
+}
+
+// CreateViewStmt is the probabilistic view generation query of Fig. 7.
+type CreateViewStmt struct {
+	ViewName string  // name of the view to materialise
+	ValueCol string  // DENSITY <value column>
+	TimeCol  string  // OVER <time column>
+	Delta    float64 // OMEGA delta=
+	N        int     // OMEGA n=
+	From     string  // FROM <raw table>
+
+	// Optional extensions.
+	Metric *MetricSpec // METRIC clause; nil selects the default (ARMA-GARCH)
+	Window int         // WINDOW clause; 0 selects the default
+	Cache  *CacheSpec  // CACHE clause; nil disables the sigma-cache
+	Where  *TimeRange  // WHERE clause; nil means the whole table
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// MetricSpec names a dynamic density metric with optional parameters,
+// e.g. UT(u=2.5) or CGARCH(svmax=0.9, p=2).
+type MetricSpec struct {
+	Name   string
+	Params map[string]float64
+}
+
+// CacheSpec configures the sigma-cache for a view query.
+type CacheSpec struct {
+	// Distance is the Hellinger constraint H' (CACHE DISTANCE <num>);
+	// zero when unset.
+	Distance float64
+	// Memory is the maximum number of cached distributions Q'
+	// (CACHE MEMORY <int>); zero when unset.
+	Memory int
+}
+
+// TimeRange is the closed interval of a WHERE t >= lo AND t <= hi clause.
+// Either bound may be absent (math.MinInt64 / math.MaxInt64 after parsing).
+type TimeRange struct {
+	Lo, Hi int64
+}
+
+// SelectStmt reads rows back from a materialised view or raw table:
+//
+//	SELECT * FROM <table> [WHERE t >= a AND t <= b] [LIMIT k]
+//
+// or evaluates a probabilistic aggregate over a view (Agg != nil):
+//
+//	SELECT EXPECTED FROM <view> [WHERE ...]          -- expected value series
+//	SELECT PROB(lo, hi) FROM <view> [WHERE ...]      -- P(lo < R_t <= hi) series
+//	SELECT ANY(lo, hi) FROM <view> [WHERE ...]       -- P(some tuple in range)
+//	SELECT ALLIN(lo, hi) FROM <view> [WHERE ...]     -- P(every tuple in range)
+//	SELECT COUNT(lo, hi) FROM <view> [WHERE ...]     -- expected #tuples in range
+type SelectStmt struct {
+	Table string
+	Agg   *AggregateSpec
+	Where *TimeRange
+	Limit int // 0 = unlimited
+}
+
+// AggregateSpec names a probabilistic aggregate with an optional value range.
+type AggregateSpec struct {
+	Name     string // EXPECTED, PROB, ANY, ALLIN, COUNT
+	Lo, Hi   float64
+	HasRange bool
+}
+
+func (*SelectStmt) stmt() {}
+
+// ShowTablesStmt lists the catalog: SHOW TABLES.
+type ShowTablesStmt struct{}
+
+func (*ShowTablesStmt) stmt() {}
+
+// DropStmt removes a table: DROP TABLE <name>.
+type DropStmt struct {
+	Table string
+}
+
+func (*DropStmt) stmt() {}

@@ -1,0 +1,338 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/clean"
+	"repro/internal/density"
+	"repro/internal/probdb"
+	"repro/internal/sigmacache"
+	"repro/internal/storage"
+	"repro/internal/view"
+)
+
+// Execution errors.
+var (
+	ErrUnknownMetric  = errors.New("query: unknown metric")
+	ErrBadMetricArg   = errors.New("query: invalid metric parameter")
+	ErrColumnMismatch = errors.New("query: column names do not match the source table")
+)
+
+// DefaultWindow is the sliding-window length used when a CREATE VIEW query
+// has no WINDOW clause.
+const DefaultWindow = 90
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	// Kind is "view", "rows" or "ok".
+	Kind string
+	// View is set for CREATE VIEW: the materialised probabilistic view.
+	View *storage.ProbTable
+	// Columns/Rows hold tabular output for SELECT and SHOW TABLES.
+	Columns []string
+	Rows    [][]string
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// CacheStats reports sigma-cache effectiveness when a cache was used.
+	CacheStats *sigmacache.Stats
+}
+
+// Exec parses and executes a statement against the catalog.
+func Exec(db *storage.DB, input string) (*Result, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStmt(db, stmt)
+}
+
+// ExecStmt executes a parsed statement against the catalog.
+func ExecStmt(db *storage.DB, stmt Stmt) (*Result, error) {
+	start := time.Now()
+	var res *Result
+	var err error
+	switch s := stmt.(type) {
+	case *CreateViewStmt:
+		res, err = execCreateView(db, s)
+	case *SelectStmt:
+		res, err = execSelect(db, s)
+	case *ShowTablesStmt:
+		res, err = execShowTables(db)
+	case *DropStmt:
+		err = db.Drop(s.Table)
+		res = &Result{Kind: "ok"}
+	default:
+		err = fmt.Errorf("query: unsupported statement %T", stmt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// BuildMetric constructs a dynamic density metric from a METRIC clause.
+// A nil spec yields the paper's default, ARMA(1,0)-GARCH(1,1).
+func BuildMetric(spec *MetricSpec) (density.Metric, error) {
+	if spec == nil {
+		return density.NewARMAGARCH(1, 0)
+	}
+	p := intParam(spec.Params, "p", 1)
+	q := intParam(spec.Params, "q", 0)
+	switch spec.Name {
+	case "ARMA_GARCH", "ARMAGARCH", "GARCH":
+		m, err := density.NewARMAGARCH(p, q)
+		if err != nil {
+			return nil, err
+		}
+		m.M = intParam(spec.Params, "m", 1)
+		m.S = intParam(spec.Params, "s", 1)
+		if kappa, ok := spec.Params["kappa"]; ok {
+			m.Kappa = kappa
+		}
+		return m, nil
+	case "UT", "UNIFORM":
+		u, ok := spec.Params["u"]
+		if !ok {
+			return nil, fmt.Errorf("%w: UT requires u=<threshold>", ErrBadMetricArg)
+		}
+		return density.NewUniformThresholding(p, q, u)
+	case "VT", "VARIABLE":
+		return density.NewVariableThresholding(p, q)
+	case "KALMAN_GARCH", "KALMANGARCH", "KALMAN":
+		m := density.NewKalmanGARCH()
+		m.M = intParam(spec.Params, "m", 1)
+		m.S = intParam(spec.Params, "s", 1)
+		if kappa, ok := spec.Params["kappa"]; ok {
+			m.Kappa = kappa
+		}
+		return m, nil
+	case "CGARCH", "C_GARCH":
+		inner, err := density.NewARMAGARCH(p, q)
+		if err != nil {
+			return nil, err
+		}
+		if kappa, ok := spec.Params["kappa"]; ok {
+			inner.Kappa = kappa
+		}
+		svMax, ok := spec.Params["svmax"]
+		if !ok || svMax <= 0 {
+			return nil, fmt.Errorf("%w: CGARCH requires svmax=<positive threshold>", ErrBadMetricArg)
+		}
+		return &clean.Metric{Inner: inner, SVMax: svMax}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMetric, spec.Name)
+	}
+}
+
+func intParam(params map[string]float64, key string, def int) int {
+	v, ok := params[key]
+	if !ok {
+		return def
+	}
+	if v != math.Trunc(v) || v < 0 {
+		return def
+	}
+	return int(v)
+}
+
+func execCreateView(db *storage.DB, s *CreateViewStmt) (*Result, error) {
+	raw, err := db.RawTable(s.From)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(s.ValueCol, raw.ValueCol) || !strings.EqualFold(s.TimeCol, raw.TimeCol) {
+		return nil, fmt.Errorf("%w: query uses (%s, %s); table %q has (%s, %s)",
+			ErrColumnMismatch, s.ValueCol, s.TimeCol, raw.Name, raw.ValueCol, raw.TimeCol)
+	}
+	metric, err := BuildMetric(s.Metric)
+	if err != nil {
+		return nil, err
+	}
+	h := s.Window
+	if h == 0 {
+		h = DefaultWindow
+	}
+	if h < metric.MinWindow() {
+		h = metric.MinWindow()
+	}
+
+	tLo, tHi := int64(math.MinInt64), int64(math.MaxInt64)
+	if s.Where != nil {
+		tLo, tHi = s.Where.Lo, s.Where.Hi
+	}
+	tuples, err := view.TuplesFromSeries(raw.Series, metric, h, tLo, tHi)
+	if err != nil {
+		return nil, err
+	}
+	if len(tuples) == 0 {
+		return nil, view.ErrNoTuples
+	}
+
+	builder, err := view.NewBuilder(view.Omega{Delta: s.Delta, N: s.N})
+	if err != nil {
+		return nil, err
+	}
+	var cache *sigmacache.Cache
+	if s.Cache != nil {
+		cache, err = builder.AttachCache(tuples, s.Cache.Distance, s.Cache.Memory)
+		if err != nil {
+			return nil, err
+		}
+	}
+	v, err := builder.Generate(tuples)
+	if err != nil {
+		return nil, err
+	}
+	table := &storage.ProbTable{
+		Name:       s.ViewName,
+		Source:     s.From,
+		MetricName: metric.Name(),
+		Omega:      v.Omega,
+		Rows:       v.Rows,
+	}
+	if err := db.StoreView(table); err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: "view", View: table}
+	if cache != nil {
+		st := cache.Stats()
+		res.CacheStats = &st
+	}
+	return res, nil
+}
+
+func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
+	tLo, tHi := int64(math.MinInt64), int64(math.MaxInt64)
+	if s.Where != nil {
+		tLo, tHi = s.Where.Lo, s.Where.Hi
+	}
+
+	if s.Agg != nil {
+		pv, err := db.View(s.Table)
+		if err != nil {
+			return nil, fmt.Errorf("query: aggregates require a probabilistic view: %w", err)
+		}
+		return execAggregate(pv, s, tLo, tHi)
+	}
+
+	// Probabilistic view?
+	if pv, err := db.View(s.Table); err == nil {
+		res := &Result{Kind: "rows", Columns: []string{"t", "lambda", "lo", "hi", "prob"}}
+		for _, r := range pv.Rows {
+			if r.T < tLo || r.T > tHi {
+				continue
+			}
+			res.Rows = append(res.Rows, []string{
+				strconv.FormatInt(r.T, 10),
+				strconv.Itoa(r.Lambda),
+				formatFloat(r.Lo),
+				formatFloat(r.Hi),
+				formatFloat(r.Prob),
+			})
+			if s.Limit > 0 && len(res.Rows) >= s.Limit {
+				break
+			}
+		}
+		return res, nil
+	}
+
+	// Raw table?
+	raw, err := db.RawTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: "rows", Columns: []string{raw.TimeCol, raw.ValueCol}}
+	sub := raw.Series.TimeRange(tLo, tHi)
+	for i := 0; i < sub.Len(); i++ {
+		p, err := sub.At(i)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			strconv.FormatInt(p.T, 10),
+			formatFloat(p.V),
+		})
+		if s.Limit > 0 && len(res.Rows) >= s.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// execAggregate evaluates a probabilistic aggregate over a view.
+func execAggregate(pv *storage.ProbTable, s *SelectStmt, tLo, tHi int64) (*Result, error) {
+	switch s.Agg.Name {
+	case "EXPECTED":
+		series, err := probdb.ExpectedSeries(pv, tLo, tHi)
+		if err != nil {
+			return nil, err
+		}
+		return seriesResult("expected", series, s.Limit), nil
+	case "PROB":
+		series, err := probdb.ProbSeries(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return seriesResult("prob", series, s.Limit), nil
+	case "ANY":
+		v, err := probdb.AnyInRange(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResult("any", v), nil
+	case "ALLIN":
+		v, err := probdb.AllInRange(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResult("allin", v), nil
+	case "COUNT":
+		v, err := probdb.ExpectedCount(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return scalarResult("count", v), nil
+	default:
+		return nil, fmt.Errorf("query: unsupported aggregate %q", s.Agg.Name)
+	}
+}
+
+func seriesResult(col string, series []probdb.TimeSeriesPoint, limit int) *Result {
+	res := &Result{Kind: "rows", Columns: []string{"t", col}}
+	for _, pt := range series {
+		res.Rows = append(res.Rows, []string{
+			strconv.FormatInt(pt.T, 10),
+			formatFloat(pt.Value),
+		})
+		if limit > 0 && len(res.Rows) >= limit {
+			break
+		}
+	}
+	return res
+}
+
+func scalarResult(col string, v float64) *Result {
+	return &Result{
+		Kind:    "rows",
+		Columns: []string{col},
+		Rows:    [][]string{{formatFloat(v)}},
+	}
+}
+
+func execShowTables(db *storage.DB) (*Result, error) {
+	res := &Result{Kind: "rows", Columns: []string{"name", "kind", "rows"}}
+	for _, info := range db.List() {
+		res.Rows = append(res.Rows, []string{info.Name, info.Kind, strconv.Itoa(info.Rows)})
+	}
+	return res, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

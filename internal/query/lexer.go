@@ -1,0 +1,187 @@
+// Package query implements the SQL-like query surface of Section VI (Fig. 7):
+//
+//	CREATE VIEW prob_view AS DENSITY r OVER t
+//	  OMEGA delta=2, n=2
+//	  FROM raw_values WHERE t >= 1 AND t <= 3
+//
+// extended with optional clauses for the pieces the paper configures outside
+// the query text:
+//
+//	METRIC ARMA_GARCH | VT | UT(u=<num>) | KALMAN_GARCH | CGARCH(svmax=<num>)
+//	WINDOW <H>
+//	CACHE DISTANCE <H'> | CACHE MEMORY <Q'>
+//
+// plus small administrative statements (SELECT over a view, SHOW TABLES,
+// DROP TABLE). The package provides a hand-written lexer, a recursive-descent
+// parser producing a typed AST, and an executor that binds statements to the
+// storage catalog and the dynamic density metrics.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexed tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokComma
+	TokEquals
+	TokLParen
+	TokRParen
+	TokStar
+	TokGE // >=
+	TokLE // <=
+	TokGT // >
+	TokLT // <
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokComma:
+		return ","
+	case TokEquals:
+		return "="
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokStar:
+		return "*"
+	case TokGE:
+		return ">="
+	case TokLE:
+		return "<="
+	case TokGT:
+		return ">"
+	case TokLT:
+		return "<"
+	default:
+		return "unknown token"
+	}
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+// SyntaxError reports a lexing or parsing failure with its input position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query: syntax error at position %d: %s", e.Pos, e.Msg)
+}
+
+// Lex tokenises the input. Keywords are not distinguished here; the parser
+// matches identifiers case-insensitively.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i})
+			i++
+		case c == '=':
+			toks = append(toks, Token{TokEquals, "=", i})
+			i++
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, Token{TokStar, "*", i})
+			i++
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokGE, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokGT, ">", i})
+				i++
+			}
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokLE, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokLT, "<", i})
+				i++
+			}
+		case c == '-' || c == '+' || c == '.' || unicode.IsDigit(c):
+			start := i
+			i++
+			seenDigit := unicode.IsDigit(c)
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					seenDigit = true
+					i++
+					continue
+				}
+				if d == '.' || d == 'e' || d == 'E' {
+					i++
+					continue
+				}
+				if (d == '-' || d == '+') && (input[i-1] == 'e' || input[i-1] == 'E') {
+					i++
+					continue
+				}
+				break
+			}
+			if !seenDigit {
+				return nil, &SyntaxError{Pos: start, Msg: fmt.Sprintf("malformed number %q", input[start:i])}
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '_' || unicode.IsLetter(c):
+			start := i
+			for i < n {
+				d := rune(input[i])
+				if d == '_' || unicode.IsLetter(d) || unicode.IsDigit(d) {
+					i++
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{TokIdent, input[start:i], start})
+		case c == ';':
+			// Statement terminator: treat as end of input.
+			toks = append(toks, Token{TokEOF, ";", i})
+			return toks, nil
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+// keywordEq reports whether an identifier token matches a keyword,
+// case-insensitively.
+func keywordEq(tok Token, kw string) bool {
+	return tok.Kind == TokIdent && strings.EqualFold(tok.Text, kw)
+}

@@ -1,0 +1,464 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/timeseries"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=2, n=2 FROM raw WHERE t >= 1 AND t <= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+	// Spot-check operator tokens.
+	var ops []TokenKind
+	for _, tok := range toks {
+		if tok.Kind == TokGE || tok.Kind == TokLE || tok.Kind == TokEquals {
+			ops = append(ops, tok.Kind)
+		}
+	}
+	if len(ops) != 4 { // delta=, n=, >=, <=
+		t.Errorf("operators = %v", ops)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("x = -2.5e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokNumber || toks[2].Text != "-2.5e-3" {
+		t.Errorf("number token = %+v", toks[2])
+	}
+	if _, err := Lex("x = -."); err == nil {
+		t.Error("malformed number accepted")
+	}
+}
+
+func TestLexUnknownChar(t *testing.T) {
+	if _, err := Lex("select @"); err == nil {
+		t.Error("unknown character accepted")
+	}
+	var se *SyntaxError
+	_, err := Lex("select @")
+	if !errors.As(err, &se) {
+		t.Error("error is not a SyntaxError")
+	}
+}
+
+func TestLexSemicolonTerminates(t *testing.T) {
+	toks, err := Lex("show tables; garbage @#$")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[len(toks)-1].Text != ";" {
+		t.Error("semicolon should terminate lexing")
+	}
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	// The exact query of Fig. 7.
+	stmt, err := Parse("CREATE VIEW prob_view AS DENSITY r OVER t OMEGA delta=2, n=2 FROM raw_values WHERE t >= 1 AND t <= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, ok := stmt.(*CreateViewStmt)
+	if !ok {
+		t.Fatalf("parsed %T", stmt)
+	}
+	if cv.ViewName != "prob_view" || cv.ValueCol != "r" || cv.TimeCol != "t" {
+		t.Errorf("names: %+v", cv)
+	}
+	if cv.Delta != 2 || cv.N != 2 {
+		t.Errorf("omega: delta=%v n=%d", cv.Delta, cv.N)
+	}
+	if cv.From != "raw_values" {
+		t.Errorf("from: %q", cv.From)
+	}
+	if cv.Where == nil || cv.Where.Lo != 1 || cv.Where.Hi != 3 {
+		t.Errorf("where: %+v", cv.Where)
+	}
+	if cv.Metric != nil || cv.Window != 0 || cv.Cache != nil {
+		t.Error("optional clauses should be unset")
+	}
+}
+
+func TestParseExtendedClauses(t *testing.T) {
+	stmt, err := Parse(`CREATE VIEW v AS DENSITY r OVER t
+		OMEGA delta=0.05, n=300
+		METRIC UT(u=2.5, p=2)
+		WINDOW 120
+		CACHE DISTANCE 0.01
+		FROM campus WHERE t >= 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := stmt.(*CreateViewStmt)
+	if cv.Metric == nil || cv.Metric.Name != "UT" {
+		t.Fatalf("metric: %+v", cv.Metric)
+	}
+	if cv.Metric.Params["u"] != 2.5 || cv.Metric.Params["p"] != 2 {
+		t.Errorf("metric params: %v", cv.Metric.Params)
+	}
+	if cv.Window != 120 {
+		t.Errorf("window: %d", cv.Window)
+	}
+	if cv.Cache == nil || cv.Cache.Distance != 0.01 {
+		t.Errorf("cache: %+v", cv.Cache)
+	}
+	if cv.Where.Lo != 100 || cv.Where.Hi != math.MaxInt64 {
+		t.Errorf("where: %+v", cv.Where)
+	}
+}
+
+func TestParseCacheMemory(t *testing.T) {
+	stmt, err := Parse("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 CACHE MEMORY 50 FROM raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := stmt.(*CreateViewStmt)
+	if cv.Cache == nil || cv.Cache.Memory != 50 {
+		t.Errorf("cache: %+v", cv.Cache)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CREATE TABLE x",
+		"CREATE VIEW v AS DENSITY r OMEGA delta=1, n=2 FROM raw",                                // missing OVER
+		"CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1 FROM raw",                              // missing n
+		"CREATE VIEW v AS DENSITY r OVER t OMEGA n=2, delta=1",                                  // missing FROM
+		"CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2.5 FROM raw",                       // fractional n
+		"CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM raw WHERE x >= 1",            // wrong column
+		"CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM raw WHERE t >= 5 AND t <= 1", // empty range
+		"CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 CACHE FOO 1 FROM raw",
+		"CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 WINDOW -3 FROM raw",
+		"SELECT FROM x",
+		"SELECT * FROM x LIMIT 0",
+		"SHOW VIEWS",
+		"DROP x",
+		"SELECT * FROM x trailing garbage",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted: %q", q)
+		}
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM pv WHERE t >= 10 AND t <= 20 LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	if sel.Table != "pv" || sel.Limit != 5 {
+		t.Errorf("select: %+v", sel)
+	}
+	if sel.Where.Lo != 10 || sel.Where.Hi != 20 {
+		t.Errorf("where: %+v", sel.Where)
+	}
+}
+
+func TestParseWhereEquality(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM pv WHERE t = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	if sel.Where.Lo != 7 || sel.Where.Hi != 7 {
+		t.Errorf("where: %+v", sel.Where)
+	}
+}
+
+func TestParseStrictInequalities(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM pv WHERE t > 5 AND t < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	if sel.Where.Lo != 6 || sel.Where.Hi != 9 {
+		t.Errorf("where: %+v", sel.Where)
+	}
+}
+
+func newTestDB(t *testing.T, n int) *storage.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		vs[i] = 0.9*vs[i-1] + rng.NormFloat64()
+	}
+	db := storage.NewDB()
+	if _, err := db.CreateRawTable("raw_values", "t", "r", timeseries.FromValues(vs)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestExecCreateViewEndToEnd(t *testing.T) {
+	db := newTestDB(t, 400)
+	res, err := Exec(db, `CREATE VIEW pv AS DENSITY r OVER t
+		OMEGA delta=0.5, n=8 WINDOW 90
+		FROM raw_values WHERE t >= 100 AND t <= 150`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "view" || res.View == nil {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.View.MetricName != "ARMA-GARCH" {
+		t.Errorf("default metric = %q", res.View.MetricName)
+	}
+	// 51 timestamps x 8 ranges.
+	if len(res.View.Rows) != 51*8 {
+		t.Errorf("rows = %d, want %d", len(res.View.Rows), 51*8)
+	}
+	// The view must be fetchable from the catalog.
+	if _, err := db.View("pv"); err != nil {
+		t.Error("view not stored")
+	}
+	// Per-tuple probability mass must be <= 1 and > 0.
+	for _, tm := range res.View.Times() {
+		total := 0.0
+		for _, r := range res.View.RowsAt(tm) {
+			total += r.Prob
+		}
+		if total <= 0 || total > 1+1e-9 {
+			t.Errorf("t=%d: total mass %v", tm, total)
+		}
+	}
+}
+
+func TestExecCreateViewWithCache(t *testing.T) {
+	db := newTestDB(t, 400)
+	res, err := Exec(db, `CREATE VIEW pv AS DENSITY r OVER t
+		OMEGA delta=0.5, n=8 WINDOW 90 CACHE DISTANCE 0.01
+		FROM raw_values WHERE t >= 100 AND t <= 200`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheStats == nil {
+		t.Fatal("no cache stats")
+	}
+	if res.CacheStats.Hits == 0 {
+		t.Error("cache never hit")
+	}
+}
+
+func TestExecCreateViewMetrics(t *testing.T) {
+	db := newTestDB(t, 300)
+	for _, metric := range []string{
+		"METRIC UT(u=2)",
+		"METRIC VT",
+		"METRIC ARMA_GARCH(p=1, q=0)",
+		"METRIC CGARCH(svmax=5)",
+	} {
+		q := "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 WINDOW 90 " +
+			metric + " FROM raw_values WHERE t >= 150 AND t <= 160"
+		if _, err := Exec(db, q); err != nil {
+			t.Errorf("%s: %v", metric, err)
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := newTestDB(t, 300)
+	cases := []string{
+		"CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 FROM missing",
+		"CREATE VIEW pv AS DENSITY wrong OVER t OMEGA delta=1, n=4 FROM raw_values",
+		"CREATE VIEW pv AS DENSITY r OVER wrong OMEGA delta=1, n=4 FROM raw_values",
+		"CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 METRIC NOSUCH FROM raw_values",
+		"CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 METRIC UT FROM raw_values",       // UT needs u
+		"CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 METRIC CGARCH FROM raw_values",   // CGARCH needs svmax
+		"CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=4 FROM raw_values WHERE t >= 9999", // empty tuple set
+		"SELECT * FROM missing",
+		"DROP TABLE missing",
+	}
+	for _, q := range cases {
+		if _, err := Exec(db, q); err == nil {
+			t.Errorf("accepted: %q", q)
+		}
+	}
+}
+
+func TestExecSelectFromView(t *testing.T) {
+	db := newTestDB(t, 300)
+	if _, err := Exec(db, "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=2 WINDOW 90 FROM raw_values WHERE t >= 100 AND t <= 110"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(db, "SELECT * FROM pv WHERE t = 105")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "rows" || len(res.Rows) != 2 {
+		t.Fatalf("select result: %+v", res)
+	}
+	if strings.Join(res.Columns, ",") != "t,lambda,lo,hi,prob" {
+		t.Errorf("columns: %v", res.Columns)
+	}
+	// Limit applies.
+	res, err = Exec(db, "SELECT * FROM pv LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("limit ignored: %d rows", len(res.Rows))
+	}
+}
+
+func TestExecSelectFromRawTable(t *testing.T) {
+	db := newTestDB(t, 50)
+	res, err := Exec(db, "SELECT * FROM raw_values WHERE t >= 10 AND t <= 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("%d rows", len(res.Rows))
+	}
+	if res.Columns[0] != "t" || res.Columns[1] != "r" {
+		t.Errorf("columns: %v", res.Columns)
+	}
+}
+
+func TestExecShowTablesAndDrop(t *testing.T) {
+	db := newTestDB(t, 50)
+	res, err := Exec(db, "SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "raw_values" {
+		t.Errorf("show tables: %v", res.Rows)
+	}
+	if _, err := Exec(db, "DROP TABLE raw_values"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = Exec(db, "SHOW TABLES")
+	if len(res.Rows) != 0 {
+		t.Error("table not dropped")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt, err := Parse("SELECT EXPECTED FROM pv WHERE t >= 1 AND t <= 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	if sel.Agg == nil || sel.Agg.Name != "EXPECTED" || sel.Agg.HasRange {
+		t.Errorf("agg: %+v", sel.Agg)
+	}
+
+	stmt, err = Parse("SELECT PROB(1.5, 2.5) FROM pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = stmt.(*SelectStmt)
+	if sel.Agg == nil || sel.Agg.Name != "PROB" || sel.Agg.Lo != 1.5 || sel.Agg.Hi != 2.5 {
+		t.Errorf("agg: %+v", sel.Agg)
+	}
+
+	for _, q := range []string{
+		"SELECT NOSUCH FROM pv",
+		"SELECT PROB FROM pv",       // missing range
+		"SELECT PROB(2, 1) FROM pv", // empty range
+		"SELECT ANY(1) FROM pv",     // missing second bound
+		"SELECT COUNT(1, 2 FROM pv", // unclosed paren
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted: %q", q)
+		}
+	}
+}
+
+func TestExecAggregates(t *testing.T) {
+	db := newTestDB(t, 300)
+	if _, err := Exec(db, "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=8 WINDOW 90 FROM raw_values WHERE t >= 100 AND t <= 120"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Exec(db, "SELECT EXPECTED FROM pv WHERE t >= 100 AND t <= 110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 || res.Columns[1] != "expected" {
+		t.Errorf("expected series: %d rows, cols %v", len(res.Rows), res.Columns)
+	}
+
+	res, err = Exec(db, "SELECT PROB(-100, 100) FROM pv LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("prob series rows = %d", len(res.Rows))
+	}
+
+	for _, q := range []string{
+		"SELECT ANY(-100, 100) FROM pv",
+		"SELECT ALLIN(-100, 100) FROM pv",
+		"SELECT COUNT(-100, 100) FROM pv",
+	} {
+		res, err := Exec(db, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+			t.Errorf("%s: result %v", q, res.Rows)
+		}
+	}
+
+	// ANY over a huge range must be ~1; ALLIN over a tiny far range ~0.
+	res, _ = Exec(db, "SELECT ANY(-10000, 10000) FROM pv")
+	if res.Rows[0][0] != "1" {
+		t.Errorf("ANY(everything) = %v", res.Rows[0][0])
+	}
+	res, _ = Exec(db, "SELECT ALLIN(9000, 9001) FROM pv")
+	if res.Rows[0][0] != "0" {
+		t.Errorf("ALLIN(far range) = %v", res.Rows[0][0])
+	}
+
+	// Aggregates require a view.
+	if _, err := Exec(db, "SELECT EXPECTED FROM raw_values"); err == nil {
+		t.Error("aggregate over raw table accepted")
+	}
+}
+
+func TestBuildMetricDefaults(t *testing.T) {
+	m, err := BuildMetric(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "ARMA-GARCH" {
+		t.Errorf("default metric = %q", m.Name())
+	}
+	kg, err := BuildMetric(&MetricSpec{Name: "KALMAN_GARCH", Params: map[string]float64{"kappa": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg.Name() != "Kalman-GARCH" {
+		t.Errorf("metric = %q", kg.Name())
+	}
+}
+
+func TestExecWindowBelowMinimumIsRaised(t *testing.T) {
+	db := newTestDB(t, 300)
+	// WINDOW 5 is below ARMA-GARCH's minimum; the executor raises it rather
+	// than failing, so the query still runs.
+	res, err := Exec(db, "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=2 WINDOW 5 FROM raw_values WHERE t >= 150 AND t <= 155")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.View.Rows) == 0 {
+		t.Error("no rows generated")
+	}
+}

@@ -1,0 +1,246 @@
+// Package sigmacache implements the sigma-cache of Section VI: a cache of
+// pre-computed Gaussian CDF grids, keyed by standard deviation, that the
+// Omega-view builder reuses across tuples when generating probability values.
+//
+// The key insight (Fig. 8 of the paper) is that the probabilities
+// rho_lambda = P_t(r̂_t+(lambda+1)Delta) - P_t(r̂_t+lambda*Delta) depend only
+// on sigmâ_t, not on r̂_t: the Omega ranges are centred on r̂_t, so a mean
+// shift maps any tuple onto a zero-mean Gaussian. Two tuples with similar
+// sigma can therefore share one pre-computed grid, with approximation error
+// controlled by the Hellinger distance (Eq. 10).
+//
+// Theorem 1 (distance constraint): given an error tolerance H', consecutive
+// cached sigmas may differ by at most the ratio threshold d_s of Eq. (11).
+// Theorem 2 (memory constraint): to store at most Q' distributions over the
+// sigma range [min, max] with ratio D_s = max/min, choose d_s >= D_s^(1/Q').
+//
+// Grids live in a B-tree (internal/btree) keyed by sigma; lookup is a floor
+// search for the ladder rung just below the queried sigma.
+package sigmacache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/btree"
+	"repro/internal/mathx"
+)
+
+// Errors reported by the cache.
+var (
+	ErrBadConfig = errors.New("sigmacache: invalid configuration")
+	ErrBadRange  = errors.New("sigmacache: invalid sigma range")
+)
+
+// Config parameterises the cache.
+type Config struct {
+	// Delta is the Omega range width (view parameter).
+	Delta float64
+	// N is the number of Omega ranges (view parameter; must be positive and
+	// even). The grid holds N+1 CDF values at offsets lambda*Delta,
+	// lambda = -N/2 .. N/2.
+	N int
+	// DistanceConstraint is the Hellinger tolerance H' in (0,1). If set,
+	// the ratio threshold comes from Theorem 1 (Eq. 11).
+	DistanceConstraint float64
+	// MemoryConstraint is the maximum number of cached distributions Q'.
+	// If set (and DistanceConstraint is zero), the ratio threshold comes
+	// from Theorem 2 (Eq. 14). If both are set, the larger (coarser) ratio
+	// wins so that both constraints hold... the memory bound is hard while
+	// the distance bound may then be violated, mirroring the paper's
+	// trade-off discussion.
+	MemoryConstraint int
+	// Degree is the B-tree minimum degree (default btree.DefaultDegree).
+	Degree int
+}
+
+// Entry is one cached distribution: the CDF grid of N(0, Sigma^2) evaluated
+// at the Omega offsets lambda*Delta.
+type Entry struct {
+	Sigma float64
+	// CDF[i] = P(X <= (i - N/2) * Delta) for X ~ N(0, Sigma^2), i = 0..N.
+	CDF []float64
+}
+
+// Rho returns the probability of the lambda-th Omega range,
+// lambda in [-N/2, N/2-1] (Eq. 9 after the mean shift).
+func (e *Entry) Rho(lambda, n int) (float64, error) {
+	i := lambda + n/2
+	if i < 0 || i+1 >= len(e.CDF) {
+		return 0, fmt.Errorf("%w: lambda=%d n=%d", ErrBadConfig, lambda, n)
+	}
+	return e.CDF[i+1] - e.CDF[i], nil
+}
+
+// Probs returns all N range probabilities in lambda order.
+func (e *Entry) Probs() []float64 {
+	out := make([]float64, len(e.CDF)-1)
+	for i := range out {
+		out[i] = e.CDF[i+1] - e.CDF[i]
+	}
+	return out
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits    int
+	Misses  int
+	Entries int
+	// ApproxBytes estimates the resident size of the cached grids
+	// (entries * (N+1) float64 values plus per-entry key overhead).
+	ApproxBytes int
+}
+
+// Cache is the sigma-cache.
+type Cache struct {
+	cfg      Config
+	ds       float64 // ratio threshold actually in force
+	minSigma float64
+	maxSigma float64
+	tree     *btree.Tree[*Entry]
+	hits     int
+	misses   int
+}
+
+// New builds a cache for sigmas in [minSigma, maxSigma] (the extremes of
+// sigmâ_t over the tuples matching the query's WHERE clause, Eq. 12),
+// pre-populating every ladder rung.
+func New(cfg Config, minSigma, maxSigma float64) (*Cache, error) {
+	if cfg.Delta <= 0 || math.IsNaN(cfg.Delta) {
+		return nil, fmt.Errorf("%w: delta=%v", ErrBadConfig, cfg.Delta)
+	}
+	if cfg.N <= 0 || cfg.N%2 != 0 {
+		return nil, fmt.Errorf("%w: n=%d (must be positive and even)", ErrBadConfig, cfg.N)
+	}
+	if cfg.DistanceConstraint == 0 && cfg.MemoryConstraint == 0 {
+		return nil, fmt.Errorf("%w: need a distance or memory constraint", ErrBadConfig)
+	}
+	if cfg.DistanceConstraint < 0 || cfg.DistanceConstraint >= 1 {
+		return nil, fmt.Errorf("%w: distance constraint %v", ErrBadConfig, cfg.DistanceConstraint)
+	}
+	if cfg.MemoryConstraint < 0 {
+		return nil, fmt.Errorf("%w: memory constraint %d", ErrBadConfig, cfg.MemoryConstraint)
+	}
+	if !(minSigma > 0) || !(maxSigma >= minSigma) || math.IsInf(maxSigma, 0) {
+		return nil, fmt.Errorf("%w: [%v, %v]", ErrBadRange, minSigma, maxSigma)
+	}
+	degree := cfg.Degree
+	if degree == 0 {
+		degree = btree.DefaultDegree
+	}
+	tree, err := btree.New[*Entry](degree)
+	if err != nil {
+		return nil, err
+	}
+
+	// D_s = max(sigma)/min(sigma) (Eq. 12).
+	ratioSpan := maxSigma / minSigma
+
+	// Resolve the ratio threshold d_s.
+	var dsDistance, dsMemory float64
+	if cfg.DistanceConstraint > 0 {
+		dsDistance, err = mathx.RatioThresholdForDistance(cfg.DistanceConstraint)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MemoryConstraint > 0 {
+		// We cache rungs q = 0..ceil(Q), i.e. ceil(Q)+1 entries (the q=0 rung
+		// at min(sigma) guarantees every in-range sigma has a floor). To
+		// store at most Q' entries we therefore apply Theorem 2 with Q'-1
+		// intervals.
+		intervals := cfg.MemoryConstraint - 1
+		if intervals < 1 {
+			intervals = 1
+		}
+		dsMemory, err = mathx.RatioThresholdForMemory(ratioSpan, intervals)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ds := math.Max(dsDistance, dsMemory)
+	if ds <= 1 {
+		// Degenerate range (max == min) or an extremely tight constraint:
+		// a single rung suffices; use a nominal ratio to terminate the ladder.
+		ds = math.Nextafter(1, 2)
+	}
+
+	c := &Cache{cfg: cfg, ds: ds, minSigma: minSigma, maxSigma: maxSigma, tree: tree}
+
+	// Q such that max = d_s^Q * min (Eq. 13); cache rungs q = 0..ceil(Q).
+	var rungs int
+	if maxSigma == minSigma || ds == math.Nextafter(1, 2) {
+		rungs = 0
+	} else {
+		q := math.Log(ratioSpan) / math.Log(ds)
+		rungs = int(math.Ceil(q - 1e-12))
+	}
+	for q := 0; q <= rungs; q++ {
+		sigma := minSigma * math.Pow(ds, float64(q))
+		c.tree.Insert(sigma, c.computeEntry(sigma))
+	}
+	return c, nil
+}
+
+// computeEntry evaluates the zero-mean Gaussian CDF grid for sigma.
+func (c *Cache) computeEntry(sigma float64) *Entry {
+	n := c.cfg.N
+	grid := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		x := (float64(i) - float64(n)/2) * c.cfg.Delta
+		grid[i] = mathx.NormCDF(x, 0, sigma)
+	}
+	return &Entry{Sigma: sigma, CDF: grid}
+}
+
+// RatioThreshold returns the ratio threshold d_s in force.
+func (c *Cache) RatioThreshold() float64 { return c.ds }
+
+// SigmaRange returns the [min, max] sigma range the cache covers.
+func (c *Cache) SigmaRange() (lo, hi float64) { return c.minSigma, c.maxSigma }
+
+// Lookup returns the cached grid approximating N(0, sigma^2): the ladder
+// rung with the largest key <= sigma (Theorem 1 requires the cached sigma to
+// be the smaller one). The boolean reports a cache hit; on a miss (sigma
+// outside the covered range) the caller must compute directly.
+func (c *Cache) Lookup(sigma float64) (*Entry, bool) {
+	if sigma < c.minSigma || sigma > c.maxSigma*(1+1e-12) || math.IsNaN(sigma) {
+		c.misses++
+		return nil, false
+	}
+	_, e, ok := c.tree.Floor(sigma)
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e, true
+}
+
+// Stats returns hit/miss counts and the approximate resident size.
+func (c *Cache) Stats() Stats {
+	const keyOverhead = 16 // key float64 + pointer in the tree node
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Entries:     c.tree.Len(),
+		ApproxBytes: c.tree.Len() * ((c.cfg.N+1)*8 + keyOverhead),
+	}
+}
+
+// MaxHellingerError returns the worst-case Hellinger distance between a
+// queried sigma and the grid actually used, i.e. the distance at the ratio
+// threshold. For a distance-constrained cache this is <= the configured H'.
+func (c *Cache) MaxHellingerError() float64 {
+	h, err := mathx.HellingerEqualMean(1, c.ds)
+	if err != nil {
+		return math.NaN()
+	}
+	return h
+}
+
+// Entries returns the cached sigmas in ascending order (diagnostics).
+func (c *Cache) Entries() []float64 {
+	return c.tree.Keys()
+}

@@ -1,0 +1,72 @@
+package sigmacache
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// TradeOff quantifies the give-and-take between the distance constraint and
+// the memory constraint that Section VI-B discusses: a tighter Hellinger
+// tolerance H' forces a smaller ratio threshold d_s and therefore more
+// cached distributions, while a memory budget Q' forces a larger d_s and
+// therefore a larger worst-case Hellinger error.
+type TradeOff struct {
+	// MaxRatio is D_s = max(sigma)/min(sigma) of the workload.
+	MaxRatio float64
+	// EntriesForDistance is the number of cached distributions needed to
+	// honour the distance constraint alone.
+	EntriesForDistance int
+	// ErrorForMemory is the worst-case Hellinger error implied by the
+	// memory constraint alone.
+	ErrorForMemory float64
+	// Compatible reports whether one cache can satisfy both constraints
+	// simultaneously (EntriesForDistance <= Q').
+	Compatible bool
+}
+
+// AnalyzeTradeOff evaluates both constraints for a workload whose inferred
+// sigmas span [minSigma, maxSigma]. distanceConstraint is H' in (0,1);
+// memoryConstraint is Q' >= 1.
+func AnalyzeTradeOff(minSigma, maxSigma, distanceConstraint float64, memoryConstraint int) (*TradeOff, error) {
+	if !(minSigma > 0) || !(maxSigma >= minSigma) {
+		return nil, ErrBadRange
+	}
+	if distanceConstraint <= 0 || distanceConstraint >= 1 || memoryConstraint < 1 {
+		return nil, ErrBadConfig
+	}
+	ds := maxSigma / minSigma
+
+	// Entries needed for the distance constraint: rungs 0..ceil(Q) with
+	// spacing from Theorem 1.
+	spacing, err := mathx.RatioThresholdForDistance(distanceConstraint)
+	if err != nil {
+		return nil, err
+	}
+	entries := 1
+	if ds > 1 && spacing > 1 {
+		entries = int(math.Ceil(math.Log(ds)/math.Log(spacing)-1e-12)) + 1
+	}
+
+	// Error implied by the memory constraint: spacing from Theorem 2, then
+	// the Hellinger distance at that spacing.
+	intervals := memoryConstraint - 1
+	if intervals < 1 {
+		intervals = 1
+	}
+	memSpacing, err := mathx.RatioThresholdForMemory(math.Max(ds, 1), intervals)
+	if err != nil {
+		return nil, err
+	}
+	memErr, err := mathx.HellingerEqualMean(1, memSpacing)
+	if err != nil {
+		return nil, err
+	}
+
+	return &TradeOff{
+		MaxRatio:           ds,
+		EntriesForDistance: entries,
+		ErrorForMemory:     memErr,
+		Compatible:         entries <= memoryConstraint,
+	}, nil
+}

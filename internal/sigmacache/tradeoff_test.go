@@ -1,0 +1,112 @@
+package sigmacache
+
+import (
+	"testing"
+)
+
+func TestAnalyzeTradeOffCompatible(t *testing.T) {
+	// Loose distance constraint, generous memory: compatible.
+	to, err := AnalyzeTradeOff(1, 100, 0.1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !to.Compatible {
+		t.Errorf("loose constraints reported incompatible: %+v", to)
+	}
+	if to.MaxRatio != 100 {
+		t.Errorf("MaxRatio = %v", to.MaxRatio)
+	}
+	if to.EntriesForDistance < 2 {
+		t.Errorf("entries = %d", to.EntriesForDistance)
+	}
+}
+
+func TestAnalyzeTradeOffIncompatible(t *testing.T) {
+	// Very tight distance constraint with a tiny memory budget: impossible.
+	to, err := AnalyzeTradeOff(1, 10000, 0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to.Compatible {
+		t.Errorf("tight constraints reported compatible: %+v", to)
+	}
+	// The memory-implied error must exceed the requested tolerance.
+	if to.ErrorForMemory <= 0.001 {
+		t.Errorf("memory-implied error %v <= tolerance", to.ErrorForMemory)
+	}
+}
+
+func TestAnalyzeTradeOffMatchesBuiltCache(t *testing.T) {
+	// The analysis must agree with what New actually builds under the
+	// distance constraint.
+	lo, hi, hPrime := 0.5, 400.0, 0.01
+	to, err := AnalyzeTradeOff(lo, hi, hPrime, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Delta: 0.1, N: 10, DistanceConstraint: hPrime}, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Entries; got != to.EntriesForDistance {
+		t.Errorf("analysis %d entries, cache built %d", to.EntriesForDistance, got)
+	}
+}
+
+func TestAnalyzeTradeOffMonotonicity(t *testing.T) {
+	// Tightening H' can only increase the entries needed.
+	prev := 0
+	for _, h := range []float64{0.2, 0.1, 0.05, 0.02, 0.01} {
+		to, err := AnalyzeTradeOff(1, 1000, h, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if to.EntriesForDistance < prev {
+			t.Errorf("H'=%v: entries %d below looser constraint %d", h, to.EntriesForDistance, prev)
+		}
+		prev = to.EntriesForDistance
+	}
+	// Growing the memory budget can only decrease the implied error.
+	prevErr := 1.0
+	for _, q := range []int{2, 5, 20, 100} {
+		to, err := AnalyzeTradeOff(1, 1000, 0.01, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if to.ErrorForMemory > prevErr+1e-12 {
+			t.Errorf("Q'=%d: error %v above smaller budget %v", q, to.ErrorForMemory, prevErr)
+		}
+		prevErr = to.ErrorForMemory
+	}
+}
+
+func TestAnalyzeTradeOffValidation(t *testing.T) {
+	if _, err := AnalyzeTradeOff(0, 1, 0.01, 10); err == nil {
+		t.Error("zero min sigma accepted")
+	}
+	if _, err := AnalyzeTradeOff(2, 1, 0.01, 10); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := AnalyzeTradeOff(1, 2, 0, 10); err == nil {
+		t.Error("H'=0 accepted")
+	}
+	if _, err := AnalyzeTradeOff(1, 2, 1, 10); err == nil {
+		t.Error("H'=1 accepted")
+	}
+	if _, err := AnalyzeTradeOff(1, 2, 0.01, 0); err == nil {
+		t.Error("Q'=0 accepted")
+	}
+}
+
+func TestAnalyzeTradeOffDegenerateRange(t *testing.T) {
+	to, err := AnalyzeTradeOff(3, 3, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to.EntriesForDistance != 1 {
+		t.Errorf("degenerate range needs %d entries, want 1", to.EntriesForDistance)
+	}
+	if !to.Compatible {
+		t.Error("degenerate range should always be compatible")
+	}
+}

@@ -1,0 +1,277 @@
+// Package storage provides the in-memory database substrate of the
+// framework: a catalog of raw-value tables (the raw_values table of Fig. 1)
+// and materialised probabilistic view tables (prob_view). Tables support
+// time-range scans, online appends, CSV import/export and gob snapshots for
+// durability. All catalog operations are safe for concurrent use.
+package storage
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/timeseries"
+	"repro/internal/view"
+)
+
+// Errors reported by the catalog.
+var (
+	ErrNotFound  = errors.New("storage: table not found")
+	ErrExists    = errors.New("storage: table already exists")
+	ErrBadName   = errors.New("storage: invalid table name")
+	ErrBadSchema = errors.New("storage: invalid schema")
+)
+
+// RawTable is a raw-value time-series table with named time and value
+// columns (e.g. <time, r> per Fig. 2).
+type RawTable struct {
+	Name     string
+	TimeCol  string
+	ValueCol string
+	Series   *timeseries.Series
+}
+
+// ProbTable is a materialised probabilistic view: the tuple-level
+// probabilistic database of Definition 2.
+type ProbTable struct {
+	Name       string
+	Source     string // raw table the view was derived from
+	MetricName string // dynamic density metric used
+	Omega      view.Omega
+	Rows       []view.Row
+}
+
+// RowsAt returns the view rows for timestamp t in lambda order.
+func (p *ProbTable) RowsAt(t int64) []view.Row {
+	// Rows are stored grouped by tuple; binary-search the first row of t.
+	i := sort.Search(len(p.Rows), func(i int) bool { return p.Rows[i].T >= t })
+	var out []view.Row
+	for ; i < len(p.Rows) && p.Rows[i].T == t; i++ {
+		out = append(out, p.Rows[i])
+	}
+	return out
+}
+
+// Times returns the distinct timestamps present in the view, ascending.
+func (p *ProbTable) Times() []int64 {
+	var out []int64
+	var last int64
+	for i, r := range p.Rows {
+		if i == 0 || r.T != last {
+			out = append(out, r.T)
+			last = r.T
+		}
+	}
+	return out
+}
+
+// DB is the catalog.
+type DB struct {
+	mu   sync.RWMutex
+	raw  map[string]*RawTable
+	prob map[string]*ProbTable
+}
+
+// NewDB returns an empty catalog.
+func NewDB() *DB {
+	return &DB{raw: make(map[string]*RawTable), prob: make(map[string]*ProbTable)}
+}
+
+func validName(name string) error {
+	if name == "" {
+		return ErrBadName
+	}
+	for _, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrBadName, name)
+		}
+	}
+	return nil
+}
+
+// CreateRawTable registers a raw-value table. Column names default to "t"
+// and "r" when empty.
+func (db *DB) CreateRawTable(name, timeCol, valueCol string, s *timeseries.Series) (*RawTable, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil series", ErrBadSchema)
+	}
+	if timeCol == "" {
+		timeCol = "t"
+	}
+	if valueCol == "" {
+		valueCol = "r"
+	}
+	if err := validName(timeCol); err != nil {
+		return nil, err
+	}
+	if err := validName(valueCol); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.raw[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if _, dup := db.prob[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	t := &RawTable{Name: name, TimeCol: timeCol, ValueCol: valueCol, Series: s}
+	db.raw[name] = t
+	return t, nil
+}
+
+// RawTable fetches a raw table by name.
+func (db *DB) RawTable(name string) (*RawTable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.raw[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return t, nil
+}
+
+// AppendRaw appends a point to a raw table (online ingestion).
+func (db *DB) AppendRaw(name string, p timeseries.Point) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.raw[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return t.Series.Append(p)
+}
+
+// StoreView registers (or replaces) a probabilistic view table.
+func (db *DB) StoreView(p *ProbTable) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil view", ErrBadSchema)
+	}
+	if err := validName(p.Name); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.raw[p.Name]; dup {
+		return fmt.Errorf("%w: %q is a raw table", ErrExists, p.Name)
+	}
+	db.prob[p.Name] = p
+	return nil
+}
+
+// View fetches a probabilistic view by name.
+func (db *DB) View(name string) (*ProbTable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, ok := db.prob[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return p, nil
+}
+
+// Drop removes a table (raw or view) by name.
+func (db *DB) Drop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.raw[name]; ok {
+		delete(db.raw, name)
+		return nil
+	}
+	if _, ok := db.prob[name]; ok {
+		delete(db.prob, name)
+		return nil
+	}
+	return fmt.Errorf("%w: %q", ErrNotFound, name)
+}
+
+// TableInfo describes one catalog entry.
+type TableInfo struct {
+	Name string
+	Kind string // "raw" or "view"
+	Rows int
+}
+
+// List returns catalog entries sorted by name.
+func (db *DB) List() []TableInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]TableInfo, 0, len(db.raw)+len(db.prob))
+	for name, t := range db.raw {
+		out = append(out, TableInfo{Name: name, Kind: "raw", Rows: t.Series.Len()})
+	}
+	for name, p := range db.prob {
+		out = append(out, TableInfo{Name: name, Kind: "view", Rows: len(p.Rows)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// snapshot is the gob wire format.
+type snapshot struct {
+	Raw  []rawSnapshot
+	Prob []*ProbTable
+}
+
+type rawSnapshot struct {
+	Name     string
+	TimeCol  string
+	ValueCol string
+	Points   []timeseries.Point
+}
+
+// Save serialises the whole catalog with gob.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var snap snapshot
+	for _, t := range db.raw {
+		pts := make([]timeseries.Point, 0, t.Series.Len())
+		for i := 0; i < t.Series.Len(); i++ {
+			p, err := t.Series.At(i)
+			if err != nil {
+				return err
+			}
+			pts = append(pts, p)
+		}
+		snap.Raw = append(snap.Raw, rawSnapshot{
+			Name: t.Name, TimeCol: t.TimeCol, ValueCol: t.ValueCol, Points: pts,
+		})
+	}
+	for _, p := range db.prob {
+		snap.Prob = append(snap.Prob, p)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load replaces the catalog contents with a snapshot produced by Save.
+func (db *DB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return err
+	}
+	raw := make(map[string]*RawTable, len(snap.Raw))
+	for _, rs := range snap.Raw {
+		s, err := timeseries.New(rs.Points)
+		if err != nil {
+			return err
+		}
+		raw[rs.Name] = &RawTable{Name: rs.Name, TimeCol: rs.TimeCol, ValueCol: rs.ValueCol, Series: s}
+	}
+	prob := make(map[string]*ProbTable, len(snap.Prob))
+	for _, p := range snap.Prob {
+		prob[p.Name] = p
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.raw = raw
+	db.prob = prob
+	return nil
+}

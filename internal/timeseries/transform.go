@@ -1,0 +1,97 @@
+package timeseries
+
+import (
+	"fmt"
+)
+
+// Downsample returns a new series keeping every k-th point (starting from the
+// first). Sensor pipelines use this to match the sliding-window horizon to a
+// coarser sampling interval before inference.
+func (s *Series) Downsample(k int) (*Series, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadWindow, k)
+	}
+	out := make([]Point, 0, (len(s.pts)+k-1)/k)
+	for i := 0; i < len(s.pts); i += k {
+		out = append(out, s.pts[i])
+	}
+	return &Series{pts: out}, nil
+}
+
+// FillGaps returns a new series with missing timestamps filled in by linear
+// interpolation on a fixed grid of the given step: for every consecutive
+// pair of points more than step apart, intermediate points are inserted at
+// multiples of step. Raw sensor feeds drop samples routinely; the density
+// metrics assume a regular window, so gaps are interpolated before
+// inference.
+func (s *Series) FillGaps(step int64) (*Series, error) {
+	if step < 1 {
+		return nil, fmt.Errorf("%w: step=%d", ErrBadWindow, step)
+	}
+	if len(s.pts) == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]Point, 0, len(s.pts))
+	out = append(out, s.pts[0])
+	for i := 1; i < len(s.pts); i++ {
+		prev, cur := s.pts[i-1], s.pts[i]
+		for t := prev.T + step; t < cur.T; t += step {
+			frac := float64(t-prev.T) / float64(cur.T-prev.T)
+			out = append(out, Point{T: t, V: prev.V + frac*(cur.V-prev.V)})
+		}
+		out = append(out, cur)
+	}
+	return &Series{pts: out}, nil
+}
+
+// MovingAverage returns the centred moving average of width w (odd w
+// recommended); the ends use the available partial window. Useful for
+// visualising the trend the ARMA mean model should capture.
+func (s *Series) MovingAverage(w int) (*Series, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("%w: w=%d", ErrBadWindow, w)
+	}
+	if len(s.pts) == 0 {
+		return nil, ErrEmpty
+	}
+	half := w / 2
+	out := make([]Point, len(s.pts))
+	for i := range s.pts {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(s.pts) {
+			hi = len(s.pts) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += s.pts[j].V
+		}
+		out[i] = Point{T: s.pts[i].T, V: sum / float64(hi-lo+1)}
+	}
+	return &Series{pts: out}, nil
+}
+
+// Standardize returns a copy with values shifted and scaled to zero mean and
+// unit variance, plus the (mean, stddev) used; a zero-variance series is
+// returned shifted only, with scale 1.
+func (s *Series) Standardize() (*Series, float64, float64, error) {
+	if len(s.pts) == 0 {
+		return nil, 0, 0, ErrEmpty
+	}
+	sum, err := s.Summarize()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	scale := sum.StdDev
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]Point, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = Point{T: p.T, V: (p.V - sum.Mean) / scale}
+	}
+	return &Series{pts: out}, sum.Mean, scale, nil
+}

@@ -1,0 +1,134 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDownsample(t *testing.T) {
+	s := FromValues([]float64{1, 2, 3, 4, 5, 6, 7})
+	d, err := s.Downsample(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, 7}
+	if d.Len() != len(want) {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i, v := range d.Values() {
+		if v != want[i] {
+			t.Errorf("d[%d] = %v", i, v)
+		}
+	}
+	// k=1 is identity.
+	same, _ := s.Downsample(1)
+	if same.Len() != s.Len() {
+		t.Error("k=1 changed length")
+	}
+	if _, err := s.Downsample(0); !errors.Is(err, ErrBadWindow) {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestFillGaps(t *testing.T) {
+	s := mustSeries(t, []Point{{0, 0}, {4, 8}, {5, 10}})
+	f, err := s.FillGaps(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 6 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	// Linear interpolation between (0,0) and (4,8): slope 2.
+	for i := 0; i < 5; i++ {
+		p, _ := f.At(i)
+		if p.T != int64(i) || math.Abs(p.V-2*float64(i)) > 1e-12 {
+			t.Errorf("point %d = %+v", i, p)
+		}
+	}
+	if _, err := s.FillGaps(0); !errors.Is(err, ErrBadWindow) {
+		t.Error("step=0 accepted")
+	}
+	empty := &Series{}
+	if _, err := empty.FillGaps(1); !errors.Is(err, ErrEmpty) {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestFillGapsNoGaps(t *testing.T) {
+	s := FromValues([]float64{1, 2, 3})
+	f, err := s.FillGaps(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Errorf("gapless series changed: %d", f.Len())
+	}
+}
+
+func TestMovingAverageSmoothes(t *testing.T) {
+	s := FromValues([]float64{0, 10, 0, 10, 0, 10})
+	ma, err := s.MovingAverage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior points average to ~ (0+10+0)/3 or (10+0+10)/3.
+	p, _ := ma.At(2)
+	if math.Abs(p.V-20.0/3.0) > 1e-12 {
+		t.Errorf("ma[2] = %v", p.V)
+	}
+	// Edge uses partial window: (0+10)/2.
+	p0, _ := ma.At(0)
+	if math.Abs(p0.V-5) > 1e-12 {
+		t.Errorf("ma[0] = %v", p0.V)
+	}
+	if _, err := s.MovingAverage(0); !errors.Is(err, ErrBadWindow) {
+		t.Error("w=0 accepted")
+	}
+	empty := &Series{}
+	if _, err := empty.MovingAverage(3); !errors.Is(err, ErrEmpty) {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	s := FromValues([]float64{2, 4, 6, 8})
+	std, mean, scale, err := s.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 5 {
+		t.Errorf("mean = %v", mean)
+	}
+	if scale <= 0 {
+		t.Errorf("scale = %v", scale)
+	}
+	sum, _ := std.Summarize()
+	if math.Abs(sum.Mean) > 1e-12 {
+		t.Errorf("standardised mean = %v", sum.Mean)
+	}
+	if math.Abs(sum.StdDev-1) > 1e-12 {
+		t.Errorf("standardised stddev = %v", sum.StdDev)
+	}
+}
+
+func TestStandardizeConstant(t *testing.T) {
+	s := FromValues([]float64{7, 7, 7})
+	std, mean, scale, err := s.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 7 || scale != 1 {
+		t.Errorf("mean=%v scale=%v", mean, scale)
+	}
+	for _, v := range std.Values() {
+		if v != 0 {
+			t.Errorf("standardised constant = %v", v)
+		}
+	}
+	empty := &Series{}
+	if _, _, _, err := empty.Standardize(); !errors.Is(err, ErrEmpty) {
+		t.Error("empty series accepted")
+	}
+}

@@ -1,0 +1,343 @@
+// Package view implements the Omega-view builder of Section VI: the
+// component that evaluates the probability value generation query
+// (Definition 2) and materialises tuple-level probabilistic views.
+//
+// Given the view parameters Delta and n, the Omega ranges are
+// {r̂_t + lambda*Delta | lambda = -n/2 .. n/2}, and for each tuple the view
+// holds the n probabilities
+//
+//	rho_lambda = P_t(R_t = r̂_t+(lambda+1)Delta) - P_t(R_t = r̂_t+lambda*Delta)   (Eq. 9)
+//
+// The builder supports the naive path (evaluate the CDF directly for every
+// tuple) and the sigma-cache path (reuse pre-computed grids across tuples
+// with similar sigma, Section VI-A/B). Both online (streaming) and offline
+// (time-interval query) modes are provided.
+package view
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/density"
+	"repro/internal/dist"
+	"repro/internal/sigmacache"
+	"repro/internal/timeseries"
+)
+
+// Errors reported by the builder.
+var (
+	ErrBadOmega = errors.New("view: invalid omega parameters")
+	ErrBadArg   = errors.New("view: invalid argument")
+	ErrNoTuples = errors.New("view: no tuples in the requested range")
+)
+
+// Omega holds the view parameters of Section VI.
+type Omega struct {
+	Delta float64 // range width (positive)
+	N     int     // number of ranges (positive, even)
+}
+
+// Validate checks the view parameters.
+func (o Omega) Validate() error {
+	if o.Delta <= 0 || math.IsNaN(o.Delta) || math.IsInf(o.Delta, 0) {
+		return fmt.Errorf("%w: delta=%v", ErrBadOmega, o.Delta)
+	}
+	if o.N <= 0 || o.N%2 != 0 {
+		return fmt.Errorf("%w: n=%d (must be positive and even)", ErrBadOmega, o.N)
+	}
+	return nil
+}
+
+// Ranges returns the n Omega ranges centred on rhat, in lambda order
+// (lambda = -n/2 .. n/2-1).
+func (o Omega) Ranges(rhat float64) []Range {
+	out := make([]Range, o.N)
+	for i := 0; i < o.N; i++ {
+		lambda := i - o.N/2
+		out[i] = Range{
+			Lambda: lambda,
+			Lo:     rhat + float64(lambda)*o.Delta,
+			Hi:     rhat + float64(lambda+1)*o.Delta,
+		}
+	}
+	return out
+}
+
+// Range is one Omega range [Lo, Hi] identified by its lambda index.
+type Range struct {
+	Lambda int
+	Lo, Hi float64
+}
+
+// Tuple is a stored density inference: the per-time parameters the system
+// keeps alongside each raw value (Section II-A: "The system stores the
+// inferred probability density functions").
+type Tuple struct {
+	T     int64             // timestamp
+	RHat  float64           // expected true value
+	Sigma float64           // density scale (Gaussian stddev)
+	Dist  dist.Distribution // full density; used by the naive path
+}
+
+// Row is one output row of the probabilistic view: the probability that the
+// true value at time T lies in [Lo, Hi].
+type Row struct {
+	T      int64
+	Lambda int
+	Lo, Hi float64
+	Prob   float64
+}
+
+// View is a materialised probabilistic view (the prob_view table of Fig. 1).
+type View struct {
+	Omega Omega
+	Rows  []Row
+}
+
+// TuplesFromSeries runs a dynamic density metric over sliding windows of s
+// and returns one Tuple per inferable time step whose timestamp lies in
+// [tLo, tHi]. This is the inference stage that precedes view generation.
+func TuplesFromSeries(s *timeseries.Series, metric density.Metric, h int, tLo, tHi int64) ([]Tuple, error) {
+	if metric == nil {
+		return nil, fmt.Errorf("%w: nil metric", ErrBadArg)
+	}
+	if h < metric.MinWindow() {
+		return nil, fmt.Errorf("%w: H=%d below metric minimum %d", ErrBadArg, h, metric.MinWindow())
+	}
+	var tuples []Tuple
+	var inferErr error
+	err := s.Windows(h, func(w timeseries.Window, next timeseries.Point) bool {
+		if next.T < tLo || next.T > tHi {
+			return true
+		}
+		inf, err := metric.Infer(w.Values)
+		if err != nil {
+			inferErr = err
+			return false
+		}
+		tuples = append(tuples, Tuple{T: next.T, RHat: inf.RHat, Sigma: inf.Sigma, Dist: inf.Dist})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if inferErr != nil {
+		return nil, inferErr
+	}
+	return tuples, nil
+}
+
+// Builder evaluates probability value generation queries over stored tuples.
+type Builder struct {
+	Omega Omega
+	// Cache, when non-nil, serves Gaussian tuples whose sigma falls in the
+	// cache's range; other tuples fall back to direct computation.
+	Cache *sigmacache.Cache
+}
+
+// NewBuilder validates omega and returns a Builder without a cache.
+func NewBuilder(omega Omega) (*Builder, error) {
+	if err := omega.Validate(); err != nil {
+		return nil, err
+	}
+	return &Builder{Omega: omega}, nil
+}
+
+// AttachCache builds a sigma-cache sized for the given tuples under the
+// provided constraints and attaches it to the builder. It returns the cache
+// so callers can inspect its statistics.
+func (b *Builder) AttachCache(tuples []Tuple, distanceConstraint float64, memoryConstraint int) (*sigmacache.Cache, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, tp := range tuples {
+		if tp.Sigma > 0 {
+			if tp.Sigma < lo {
+				lo = tp.Sigma
+			}
+			if tp.Sigma > hi {
+				hi = tp.Sigma
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return nil, ErrNoTuples
+	}
+	cache, err := sigmacache.New(sigmacache.Config{
+		Delta:              b.Omega.Delta,
+		N:                  b.Omega.N,
+		DistanceConstraint: distanceConstraint,
+		MemoryConstraint:   memoryConstraint,
+	}, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	b.Cache = cache
+	return cache, nil
+}
+
+// Generate evaluates the probability value generation query for every tuple,
+// producing n rows per tuple. Rows are written into one pre-sized backing
+// array: the per-tuple cost is pure computation, so the sigma-cache's saving
+// (CDF evaluations) shows up undiluted, as in the paper's Fig. 14a.
+func (b *Builder) Generate(tuples []Tuple) (*View, error) {
+	if err := b.Omega.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tuples) == 0 {
+		return nil, ErrNoTuples
+	}
+	rows := make([]Row, len(tuples)*b.Omega.N)
+	for i, tp := range tuples {
+		if err := b.generateInto(tp, rows[i*b.Omega.N:(i+1)*b.Omega.N]); err != nil {
+			return nil, err
+		}
+	}
+	return &View{Omega: b.Omega, Rows: rows}, nil
+}
+
+// GenerateOne evaluates Eq. (9) for a single tuple.
+func (b *Builder) GenerateOne(tp Tuple) ([]Row, error) {
+	if err := b.Omega.Validate(); err != nil {
+		return nil, err
+	}
+	rows := make([]Row, b.Omega.N)
+	if err := b.generateInto(tp, rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// generateInto fills out (length Omega.N) with the Eq. (9) probabilities of
+// one tuple, preferring the sigma-cache for Gaussian tuples.
+func (b *Builder) generateInto(tp Tuple, out []Row) error {
+	n := b.Omega.N
+	delta := b.Omega.Delta
+	// Cache path: Gaussian tuples only (the grid encodes a zero-mean
+	// Gaussian; the mean shift argument of Fig. 8 makes rho identical).
+	if b.Cache != nil {
+		if _, isNormal := tp.Dist.(dist.Normal); isNormal || tp.Dist == nil {
+			if e, ok := b.Cache.Lookup(tp.Sigma); ok {
+				for i := 0; i < n; i++ {
+					lambda := i - n/2
+					lo := tp.RHat + float64(lambda)*delta
+					out[i] = Row{T: tp.T, Lambda: lambda, Lo: lo, Hi: lo + delta,
+						Prob: e.CDF[i+1] - e.CDF[i]}
+				}
+				return nil
+			}
+		}
+	}
+	// Naive path: evaluate the distribution directly.
+	d := tp.Dist
+	if d == nil {
+		nd, err := dist.NewNormal(tp.RHat, tp.Sigma)
+		if err != nil {
+			return err
+		}
+		d = nd
+	}
+	for i := 0; i < n; i++ {
+		lambda := i - n/2
+		lo := tp.RHat + float64(lambda)*delta
+		hi := lo + delta
+		out[i] = Row{T: tp.T, Lambda: lambda, Lo: lo, Hi: hi, Prob: d.Prob(lo, hi)}
+	}
+	return nil
+}
+
+// WriteCSV writes the view as "t,lambda,lo,hi,prob" rows with a header.
+func (v *View) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "lambda", "lo", "hi", "prob"}); err != nil {
+		return err
+	}
+	for _, r := range v.Rows {
+		rec := []string{
+			strconv.FormatInt(r.T, 10),
+			strconv.Itoa(r.Lambda),
+			strconv.FormatFloat(r.Lo, 'g', -1, 64),
+			strconv.FormatFloat(r.Hi, 'g', -1, 64),
+			strconv.FormatFloat(r.Prob, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RowsAt returns the rows of the view for a single timestamp, in lambda
+// order, or nil if the timestamp is absent.
+func (v *View) RowsAt(t int64) []Row {
+	var out []Row
+	for _, r := range v.Rows {
+		if r.T == t {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalProb returns the summed probability mass of the view rows at t —
+// a diagnostic: for n ranges covering kappa sigmas it approaches 1.
+func (v *View) TotalProb(t int64) float64 {
+	s := 0.0
+	for _, r := range v.RowsAt(t) {
+		s += r.Prob
+	}
+	return s
+}
+
+// OnlineBuilder maintains a sliding window over a live stream and emits view
+// rows for every new raw value (the online mode of Section II-A).
+type OnlineBuilder struct {
+	metric  density.Metric
+	h       int
+	builder *Builder
+	window  []float64
+	lastT   int64
+	started bool
+}
+
+// NewOnlineBuilder primes an online builder with warm-up values (length h).
+// The optional cache must be attached to b beforehand when desired; sigma
+// values outside its range fall back to direct computation.
+func NewOnlineBuilder(metric density.Metric, h int, b *Builder, warmup []float64) (*OnlineBuilder, error) {
+	if metric == nil || b == nil {
+		return nil, fmt.Errorf("%w: nil metric or builder", ErrBadArg)
+	}
+	if h < metric.MinWindow() {
+		return nil, fmt.Errorf("%w: H=%d below metric minimum %d", ErrBadArg, h, metric.MinWindow())
+	}
+	if len(warmup) != h {
+		return nil, fmt.Errorf("%w: warmup length %d != H %d", ErrBadArg, len(warmup), h)
+	}
+	ob := &OnlineBuilder{metric: metric, h: h, builder: b, window: make([]float64, h)}
+	copy(ob.window, warmup)
+	return ob, nil
+}
+
+// Step ingests the raw value at time t and returns the view rows generated
+// for it. Timestamps must be strictly increasing.
+func (ob *OnlineBuilder) Step(t int64, rt float64) ([]Row, error) {
+	if ob.started && t <= ob.lastT {
+		return nil, fmt.Errorf("%w: non-increasing timestamp %d", ErrBadArg, t)
+	}
+	inf, err := ob.metric.Infer(ob.window)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := ob.builder.GenerateOne(Tuple{T: t, RHat: inf.RHat, Sigma: inf.Sigma, Dist: inf.Dist})
+	if err != nil {
+		return nil, err
+	}
+	copy(ob.window, ob.window[1:])
+	ob.window[ob.h-1] = rt
+	ob.lastT = t
+	ob.started = true
+	return rows, nil
+}
