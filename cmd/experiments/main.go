@@ -1,7 +1,6 @@
 // Command experiments regenerates the tables and figures of the paper's
 // evaluation (Section VII). Each experiment prints the same rows/series the
-// paper reports; EXPERIMENTS.md records a full run against the paper's
-// numbers.
+// paper reports; run with -full to use the paper's scale.
 //
 // Usage:
 //

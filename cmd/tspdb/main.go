@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	tspdb -load table=path.csv [-load table2=path2.csv] [-exec "QUERY"] [-out view.csv]
+//	tspdb -load table=path.csv [-load table2=path2.csv] [-exec "QUERY"] [-out view.csv] [-parallel N]
 //
 // Without -exec the tool reads statements from stdin, one per line.
+// -parallel sets the view-generation worker count (0 = all cores,
+// 1 = sequential); the materialised rows are identical at every setting.
 //
 // Example:
 //
@@ -43,16 +45,17 @@ func main() {
 	flag.Var(&loads, "load", "table=csvfile pair; repeatable")
 	exec := flag.String("exec", "", "statement to execute (omit for interactive mode)")
 	out := flag.String("out", "", "write the created view as CSV to this file")
+	parallel := flag.Int("parallel", 0, "view-generation workers (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
-	if err := run(loads, *exec, *out); err != nil {
+	if err := run(loads, *exec, *out, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "tspdb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(loads loadFlags, exec, out string) error {
-	engine := repro.NewEngine()
+func run(loads loadFlags, exec, out string, parallel int) error {
+	engine := repro.NewEngineWith(repro.EngineConfig{Parallelism: parallel})
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

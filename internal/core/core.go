@@ -30,15 +30,36 @@ var (
 	ErrBadArg = errors.New("core: invalid argument")
 )
 
-// Engine is the framework instance.
-type Engine struct {
-	db *storage.DB
+// Config tunes an Engine.
+type Config struct {
+	// Parallelism is the worker count for offline Omega-view generation:
+	// 1 builds views sequentially, 0 selects GOMAXPROCS. Results are
+	// identical at every setting; only wall-clock time changes.
+	Parallelism int
 }
 
-// NewEngine creates an empty engine.
-func NewEngine() *Engine {
-	return &Engine{db: storage.NewDB()}
+// Engine is the framework instance.
+type Engine struct {
+	db  *storage.DB
+	cfg Config
 }
+
+// NewEngine creates an empty engine with the default configuration
+// (parallel view generation across all cores).
+func NewEngine() *Engine {
+	return NewEngineWith(Config{})
+}
+
+// NewEngineWith creates an empty engine with an explicit configuration.
+func NewEngineWith(cfg Config) *Engine {
+	return &Engine{db: storage.NewDB(), cfg: cfg}
+}
+
+// SetParallelism changes the view-generation worker count (see Config).
+func (e *Engine) SetParallelism(n int) { e.cfg.Parallelism = n }
+
+// Parallelism reports the configured view-generation worker count.
+func (e *Engine) Parallelism() int { return e.cfg.Parallelism }
 
 // DB exposes the underlying catalog (advanced use).
 func (e *Engine) DB() *storage.DB { return e.db }
@@ -57,9 +78,10 @@ func (e *Engine) RegisterTable(name, timeCol, valueCol string, s *timeseries.Ser
 }
 
 // Exec parses and executes a statement (CREATE VIEW ... AS DENSITY ...,
-// SELECT, SHOW TABLES, DROP TABLE) against the engine's catalog.
+// SELECT, SHOW TABLES, DROP TABLE) against the engine's catalog. CREATE VIEW
+// statements materialise their view with the engine's configured parallelism.
 func (e *Engine) Exec(q string) (*query.Result, error) {
-	return query.Exec(e.db, q)
+	return query.ExecWith(e.db, q, query.Options{Parallelism: e.cfg.Parallelism})
 }
 
 // View fetches a materialised probabilistic view.
@@ -84,6 +106,11 @@ type StreamConfig struct {
 	// an expected [Min, Max] volatility band. Values outside the band fall
 	// back to direct computation (still correct, just slower).
 	SigmaRange *SigmaRange
+	// Parallelism overrides the engine's view-generation worker count for
+	// this stream's builder (0 inherits the engine setting). Online steps
+	// are single-tuple, so this matters only for bulk operations on the
+	// stream's builder (e.g. backfilling the view over stored history).
+	Parallelism int
 	// Clean optionally enables C-GARCH cleaning of the stream (Section V).
 	Clean *CleanStreamConfig
 }
@@ -156,6 +183,11 @@ func (e *Engine) OpenStream(cfg StreamConfig) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	p := cfg.Parallelism
+	if p == 0 {
+		p = e.cfg.Parallelism
+	}
+	builder.Parallelism = query.ResolveParallelism(p)
 	var cache *sigmacache.Cache
 	if sr := cfg.SigmaRange; sr != nil {
 		cache, err = sigmacache.New(sigmacache.Config{

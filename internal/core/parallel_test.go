@@ -1,0 +1,54 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEngineParallelismDeterministic proves the Parallelism knob changes
+// only wall-clock behaviour: a CREATE VIEW executed by a sequential engine
+// and by parallel engines materialises identical rows.
+func TestEngineParallelismDeterministic(t *testing.T) {
+	const stmt = `CREATE VIEW pv AS DENSITY r OVER t
+		OMEGA delta=0.5, n=6 WINDOW 90 CACHE DISTANCE 0.01
+		FROM raw_values WHERE t >= 100 AND t <= 250`
+
+	build := func(parallelism int) []interface{} {
+		t.Helper()
+		e := NewEngineWith(Config{Parallelism: parallelism})
+		if e.Parallelism() != parallelism {
+			t.Fatalf("Parallelism() = %d, want %d", e.Parallelism(), parallelism)
+		}
+		if err := e.RegisterSeries("raw_values", arSeries(400, 42)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Exec(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]interface{}, len(res.View.Rows))
+		for i, r := range res.View.Rows {
+			out[i] = r
+		}
+		return out
+	}
+
+	want := build(1)
+	for _, p := range []int{0, 2, 8} {
+		if got := build(p); !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism %d produced different view rows", p)
+		}
+	}
+}
+
+// TestSetParallelism covers the runtime knob used by cmd/tspdb.
+func TestSetParallelism(t *testing.T) {
+	e := NewEngine()
+	if e.Parallelism() != 0 {
+		t.Fatalf("default parallelism = %d, want 0 (all cores)", e.Parallelism())
+	}
+	e.SetParallelism(3)
+	if e.Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", e.Parallelism())
+	}
+}

@@ -1,0 +1,101 @@
+// Package dist provides the probability distributions a dynamic density
+// metric can infer for a raw value (Section II-A: the system stores the
+// inferred probability density functions alongside each value).
+//
+// Distribution is the minimal contract the Omega-view builder and the
+// density-quality evaluator need: CDF evaluation, interval probability,
+// mean and variance. Two concrete families cover the paper's metrics:
+// Uniform (the thresholding metrics of Section III) and Normal (the
+// GARCH-based metrics of Sections IV-V).
+//
+// Distributions are small immutable value types, safe to copy and to share
+// across goroutines — a property the parallel view builder relies on.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// ErrBadParam is returned by constructors for invalid parameters.
+var ErrBadParam = errors.New("dist: invalid distribution parameter")
+
+// Distribution is an inferred density p_t(R_t).
+type Distribution interface {
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Prob returns P(lo < X <= hi), the probability of one Omega range.
+	Prob(lo, hi float64) float64
+	// Mean returns E(X) — the expected true value r̂_t.
+	Mean() float64
+	// Variance returns Var(X).
+	Variance() float64
+}
+
+// Normal is the Gaussian distribution N(Mu, Sigma^2).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewNormal returns N(mu, sigma^2); sigma must be positive and finite.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if !(sigma > 0) || math.IsInf(sigma, 0) || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return Normal{}, fmt.Errorf("%w: normal(mu=%v, sigma=%v)", ErrBadParam, mu, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 { return mathx.NormCDF(x, n.Mu, n.Sigma) }
+
+// Prob returns P(lo < X <= hi).
+func (n Normal) Prob(lo, hi float64) float64 { return mathx.NormInterval(lo, hi, n.Mu, n.Sigma) }
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns Sigma^2.
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns the uniform distribution on [a, b]; a < b required.
+func NewUniform(a, b float64) (Uniform, error) {
+	if !(a < b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return Uniform{}, fmt.Errorf("%w: uniform[%v, %v]", ErrBadParam, a, b)
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+// CDF returns P(X <= x).
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+// Prob returns P(lo < X <= hi).
+func (u Uniform) Prob(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	return u.CDF(hi) - u.CDF(lo)
+}
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Variance returns (B-A)^2/12.
+func (u Uniform) Variance() float64 { w := u.B - u.A; return w * w / 12 }

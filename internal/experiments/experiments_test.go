@@ -198,6 +198,11 @@ func TestFig14aCacheFaster(t *testing.T) {
 		t.Fatalf("timings: %+v %+v", naive, cached)
 	}
 	// Paper: ~9.6x at 18K tuples; at quick scale require at least 2x.
+	// Wall-clock ratios are meaningless under the race detector (see
+	// race_enabled.go), so only the timing sanity checks above run there.
+	if raceEnabled {
+		t.Skip("speedup assertion skipped under the race detector")
+	}
 	if cached.Speedup < 2 {
 		t.Errorf("speedup at %d tuples = %.2fx (naive %.2fms, cache %.2fms)",
 			largest, cached.Speedup, naive.TimeMS, cached.TimeMS)
@@ -257,9 +262,8 @@ func TestFig15VolatilityTestShapes(t *testing.T) {
 	}
 	// Both datasets must show clear time-varying volatility at the low lag
 	// orders that drive the GARCH(1,1) choice. (At high m the conditional-
-	// Gaussian noise in a^2 caps the achievable statistic — see
-	// EXPERIMENTS.md — so the full-m rejection of the paper is asserted
-	// only for m <= 4.)
+	// Gaussian noise in a^2 caps the achievable statistic, so the full-m
+	// rejection of the paper is asserted only for m <= 4.)
 	for _, ds := range []string{"campus", "car"} {
 		for m := 1; m <= 4; m++ {
 			r, ok := stats[ds][m]

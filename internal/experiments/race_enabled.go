@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock assertions (e.g. the Fig. 14a speedup) are skipped under the
+// detector: its per-access instrumentation taxes the cache's memory reads
+// far more than the naive path's pure computation, inverting real timings.
+const raceEnabled = true

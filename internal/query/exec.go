@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -42,23 +43,53 @@ type Result struct {
 	CacheStats *sigmacache.Stats
 }
 
-// Exec parses and executes a statement against the catalog.
+// Options tunes statement execution.
+type Options struct {
+	// Parallelism is the worker count for CREATE VIEW materialisation:
+	// 1 builds sequentially, 0 selects GOMAXPROCS. The materialised rows
+	// are identical at every setting.
+	Parallelism int
+}
+
+// ResolveParallelism maps the 0 = "all cores" convention of the engine
+// configuration onto an explicit worker count for view.Builder (whose zero
+// value is sequential).
+func ResolveParallelism(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Exec parses and executes a statement against the catalog with default
+// options.
 func Exec(db *storage.DB, input string) (*Result, error) {
+	return ExecWith(db, input, Options{})
+}
+
+// ExecWith parses and executes a statement against the catalog.
+func ExecWith(db *storage.DB, input string, opts Options) (*Result, error) {
 	stmt, err := Parse(input)
 	if err != nil {
 		return nil, err
 	}
-	return ExecStmt(db, stmt)
+	return ExecStmtWith(db, stmt, opts)
 }
 
-// ExecStmt executes a parsed statement against the catalog.
+// ExecStmt executes a parsed statement against the catalog with default
+// options.
 func ExecStmt(db *storage.DB, stmt Stmt) (*Result, error) {
+	return ExecStmtWith(db, stmt, Options{})
+}
+
+// ExecStmtWith executes a parsed statement against the catalog.
+func ExecStmtWith(db *storage.DB, stmt Stmt, opts Options) (*Result, error) {
 	start := time.Now()
 	var res *Result
 	var err error
 	switch s := stmt.(type) {
 	case *CreateViewStmt:
-		res, err = execCreateView(db, s)
+		res, err = execCreateView(db, s, opts)
 	case *SelectStmt:
 		res, err = execSelect(db, s)
 	case *ShowTablesStmt:
@@ -141,7 +172,7 @@ func intParam(params map[string]float64, key string, def int) int {
 	return int(v)
 }
 
-func execCreateView(db *storage.DB, s *CreateViewStmt) (*Result, error) {
+func execCreateView(db *storage.DB, s *CreateViewStmt, opts Options) (*Result, error) {
 	raw, err := db.RawTable(s.From)
 	if err != nil {
 		return nil, err
@@ -178,6 +209,7 @@ func execCreateView(db *storage.DB, s *CreateViewStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	builder.Parallelism = ResolveParallelism(opts.Parallelism)
 	var cache *sigmacache.Cache
 	if s.Cache != nil {
 		cache, err = builder.AttachCache(tuples, s.Cache.Distance, s.Cache.Memory)

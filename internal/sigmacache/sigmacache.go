@@ -14,16 +14,22 @@
 // Theorem 2 (memory constraint): to store at most Q' distributions over the
 // sigma range [min, max] with ratio D_s = max/min, choose d_s >= D_s^(1/Q').
 //
-// Grids live in a B-tree (internal/btree) keyed by sigma; lookup is a floor
-// search for the ladder rung just below the queried sigma.
+// Grids live in a sharded store: the geometric rung ladder is split into
+// contiguous spans, each guarded by its own sync.RWMutex, and a lookup
+// addresses its rung in O(1) arithmetic (the ladder is geometric, so the
+// rung index is a logarithm) before taking a single shard's read lock.
+// Hit/miss counters are atomic. The cache is therefore safe for any number
+// of concurrent readers — the parallel Omega-view builder shares one cache
+// across all of its workers without serialising them.
 package sigmacache
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
-	"repro/internal/btree"
 	"repro/internal/mathx"
 )
 
@@ -51,9 +57,13 @@ type Config struct {
 	// the distance bound may then be violated, mirroring the paper's
 	// trade-off discussion.
 	MemoryConstraint int
-	// Degree is the B-tree minimum degree (default btree.DefaultDegree).
-	Degree int
+	// Shards is the number of spans the rung ladder is split across for
+	// concurrent access (default DefaultShards; capped at the ladder size).
+	Shards int
 }
+
+// DefaultShards is the default shard count of the grid store.
+const DefaultShards = 16
 
 // Entry is one cached distribution: the CDF grid of N(0, Sigma^2) evaluated
 // at the Omega offsets lambda*Delta.
@@ -92,15 +102,35 @@ type Stats struct {
 	ApproxBytes int
 }
 
+// shard is one contiguous span of the rung ladder. Entries are immutable
+// once New returns; the RWMutex makes the invariant explicit and leaves room
+// for dynamic rung insertion (planned for adaptive caches) without changing
+// the locking discipline readers already follow. Hits are counted here, per
+// shard, so workers in different sigma bands never bounce one counter line.
+type shard struct {
+	mu      sync.RWMutex
+	entries []*Entry // rungs q in [base, base+len), ascending sigma
+	hits    atomic.Int64
+	_       [40]byte // keep the next shard's hot fields off this cache line
+}
+
 // Cache is the sigma-cache.
 type Cache struct {
 	cfg      Config
 	ds       float64 // ratio threshold actually in force
 	minSigma float64
 	maxSigma float64
-	tree     *btree.Tree[*Entry]
-	hits     int
-	misses   int
+
+	logMin float64 // log(minSigma), for O(1) rung addressing
+	logDs  float64 // log(ds)
+	rungs  int     // highest rung index; ladder holds rungs+1 entries
+
+	perShard int // rungs per shard (>= 1)
+	shards   []shard
+
+	// misses stay on one counter: a miss leaves the sharded ladder anyway,
+	// and the caller's direct CDF fallback dwarfs one atomic add.
+	misses atomic.Int64
 }
 
 // New builds a cache for sigmas in [minSigma, maxSigma] (the extremes of
@@ -122,16 +152,11 @@ func New(cfg Config, minSigma, maxSigma float64) (*Cache, error) {
 	if cfg.MemoryConstraint < 0 {
 		return nil, fmt.Errorf("%w: memory constraint %d", ErrBadConfig, cfg.MemoryConstraint)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: shards %d", ErrBadConfig, cfg.Shards)
+	}
 	if !(minSigma > 0) || !(maxSigma >= minSigma) || math.IsInf(maxSigma, 0) {
 		return nil, fmt.Errorf("%w: [%v, %v]", ErrBadRange, minSigma, maxSigma)
-	}
-	degree := cfg.Degree
-	if degree == 0 {
-		degree = btree.DefaultDegree
-	}
-	tree, err := btree.New[*Entry](degree)
-	if err != nil {
-		return nil, err
 	}
 
 	// D_s = max(sigma)/min(sigma) (Eq. 12).
@@ -139,6 +164,7 @@ func New(cfg Config, minSigma, maxSigma float64) (*Cache, error) {
 
 	// Resolve the ratio threshold d_s.
 	var dsDistance, dsMemory float64
+	var err error
 	if cfg.DistanceConstraint > 0 {
 		dsDistance, err = mathx.RatioThresholdForDistance(cfg.DistanceConstraint)
 		if err != nil {
@@ -166,8 +192,6 @@ func New(cfg Config, minSigma, maxSigma float64) (*Cache, error) {
 		ds = math.Nextafter(1, 2)
 	}
 
-	c := &Cache{cfg: cfg, ds: ds, minSigma: minSigma, maxSigma: maxSigma, tree: tree}
-
 	// Q such that max = d_s^Q * min (Eq. 13); cache rungs q = 0..ceil(Q).
 	var rungs int
 	if maxSigma == minSigma || ds == math.Nextafter(1, 2) {
@@ -176,11 +200,48 @@ func New(cfg Config, minSigma, maxSigma float64) (*Cache, error) {
 		q := math.Log(ratioSpan) / math.Log(ds)
 		rungs = int(math.Ceil(q - 1e-12))
 	}
+
+	nShards := cfg.Shards
+	if nShards == 0 {
+		nShards = DefaultShards
+	}
+	if nShards > rungs+1 {
+		nShards = rungs + 1
+	}
+	perShard := (rungs + 1 + nShards - 1) / nShards
+	// Re-derive the shard count from the span width so every allocated
+	// shard is addressable (ceil division can otherwise strand trailing
+	// shards empty and overreport Shards()).
+	nShards = (rungs + 1 + perShard - 1) / perShard
+
+	c := &Cache{
+		cfg: cfg, ds: ds, minSigma: minSigma, maxSigma: maxSigma,
+		logMin: math.Log(minSigma), logDs: math.Log(ds),
+		rungs: rungs, perShard: perShard,
+		shards: make([]shard, nShards),
+	}
 	for q := 0; q <= rungs; q++ {
-		sigma := minSigma * math.Pow(ds, float64(q))
-		c.tree.Insert(sigma, c.computeEntry(sigma))
+		sh := &c.shards[q/perShard]
+		sh.entries = append(sh.entries, c.computeEntry(c.rungSigma(q)))
 	}
 	return c, nil
+}
+
+// rungSigma returns the sigma of ladder rung q. Every caller uses this one
+// expression, so recomputed keys compare exactly equal to stored ones.
+func (c *Cache) rungSigma(q int) float64 {
+	return c.minSigma * math.Pow(c.ds, float64(q))
+}
+
+// entry returns the grid of rung q under the owning shard's read lock,
+// counting the hit on that shard's counter.
+func (c *Cache) entry(q int) *Entry {
+	sh := &c.shards[q/c.perShard]
+	sh.mu.RLock()
+	e := sh.entries[q%c.perShard]
+	sh.mu.RUnlock()
+	sh.hits.Add(1)
+	return e
 }
 
 // computeEntry evaluates the zero-mean Gaussian CDF grid for sigma.
@@ -200,32 +261,53 @@ func (c *Cache) RatioThreshold() float64 { return c.ds }
 // SigmaRange returns the [min, max] sigma range the cache covers.
 func (c *Cache) SigmaRange() (lo, hi float64) { return c.minSigma, c.maxSigma }
 
+// Shards returns the number of shards the rung ladder is split across.
+func (c *Cache) Shards() int { return len(c.shards) }
+
 // Lookup returns the cached grid approximating N(0, sigma^2): the ladder
 // rung with the largest key <= sigma (Theorem 1 requires the cached sigma to
 // be the smaller one). The boolean reports a cache hit; on a miss (sigma
 // outside the covered range) the caller must compute directly.
+//
+// Lookup is safe for concurrent use: rung addressing is pure arithmetic, the
+// grid read takes one shard's read lock, and the counters are atomic.
 func (c *Cache) Lookup(sigma float64) (*Entry, bool) {
 	if sigma < c.minSigma || sigma > c.maxSigma*(1+1e-12) || math.IsNaN(sigma) {
-		c.misses++
+		c.misses.Add(1)
 		return nil, false
 	}
-	_, e, ok := c.tree.Floor(sigma)
-	if !ok {
-		c.misses++
-		return nil, false
+	// The ladder is geometric, so the floor rung is a logarithm away; the
+	// two correction loops absorb floating-point error at rung boundaries.
+	q := int(math.Floor((math.Log(sigma) - c.logMin) / c.logDs))
+	if q < 0 {
+		q = 0
 	}
-	c.hits++
-	return e, true
+	if q > c.rungs {
+		q = c.rungs
+	}
+	for q+1 <= c.rungs && c.rungSigma(q+1) <= sigma {
+		q++
+	}
+	for q > 0 && c.rungSigma(q) > sigma {
+		q--
+	}
+	return c.entry(q), true
 }
 
-// Stats returns hit/miss counts and the approximate resident size.
+// Stats returns hit/miss counts and the approximate resident size. Hits are
+// summed across the per-shard counters.
 func (c *Cache) Stats() Stats {
-	const keyOverhead = 16 // key float64 + pointer in the tree node
+	const keyOverhead = 16 // entry pointer + Sigma key per rung
+	var hits int64
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+	}
+	entries := c.rungs + 1
 	return Stats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Entries:     c.tree.Len(),
-		ApproxBytes: c.tree.Len() * ((c.cfg.N+1)*8 + keyOverhead),
+		Hits:        int(hits),
+		Misses:      int(c.misses.Load()),
+		Entries:     entries,
+		ApproxBytes: entries * ((c.cfg.N+1)*8 + keyOverhead),
 	}
 }
 
@@ -242,5 +324,14 @@ func (c *Cache) MaxHellingerError() float64 {
 
 // Entries returns the cached sigmas in ascending order (diagnostics).
 func (c *Cache) Entries() []float64 {
-	return c.tree.Keys()
+	out := make([]float64, 0, c.rungs+1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out = append(out, e.Sigma)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }

@@ -12,6 +12,13 @@
 // tuple) and the sigma-cache path (reuse pre-computed grids across tuples
 // with similar sigma, Section VI-A/B). Both online (streaming) and offline
 // (time-interval query) modes are provided.
+//
+// Offline generation is embarrassingly parallel — every tuple's n rows are
+// a pure function of that tuple — so Generate fans contiguous tuple windows
+// out across a worker pool (Builder.Parallelism) with each worker writing a
+// disjoint span of one pre-sized row array. The output is byte-identical to
+// the sequential build regardless of scheduling, and the shared sigma-cache
+// is safe for concurrent readers.
 package view
 
 import (
@@ -21,6 +28,8 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/density"
 	"repro/internal/dist"
@@ -137,6 +146,12 @@ type Builder struct {
 	// Cache, when non-nil, serves Gaussian tuples whose sigma falls in the
 	// cache's range; other tuples fall back to direct computation.
 	Cache *sigmacache.Cache
+	// Parallelism is the number of worker goroutines Generate fans tuple
+	// windows out across. The zero value (and 1) builds sequentially, so
+	// existing construction sites keep their behaviour; layers that want
+	// "all cores" resolve GOMAXPROCS themselves (see core.Config). The
+	// result is identical at every setting.
+	Parallelism int
 }
 
 // NewBuilder validates omega and returns a Builder without a cache.
@@ -182,6 +197,10 @@ func (b *Builder) AttachCache(tuples []Tuple, distanceConstraint float64, memory
 // producing n rows per tuple. Rows are written into one pre-sized backing
 // array: the per-tuple cost is pure computation, so the sigma-cache's saving
 // (CDF evaluations) shows up undiluted, as in the paper's Fig. 14a.
+//
+// With Parallelism > 1 the tuple windows are processed by a worker pool;
+// each worker writes a disjoint span of the row array, so the rows come out
+// in tuple order and are identical to a sequential build.
 func (b *Builder) Generate(tuples []Tuple) (*View, error) {
 	if err := b.Omega.Validate(); err != nil {
 		return nil, err
@@ -190,12 +209,88 @@ func (b *Builder) Generate(tuples []Tuple) (*View, error) {
 		return nil, ErrNoTuples
 	}
 	rows := make([]Row, len(tuples)*b.Omega.N)
-	for i, tp := range tuples {
-		if err := b.generateInto(tp, rows[i*b.Omega.N:(i+1)*b.Omega.N]); err != nil {
+	workers := b.workers(len(tuples))
+	if workers <= 1 {
+		if err := b.generateSpan(tuples, rows, 0, len(tuples)); err != nil {
 			return nil, err
 		}
+	} else if err := b.generateParallel(tuples, rows, workers); err != nil {
+		return nil, err
 	}
 	return &View{Omega: b.Omega, Rows: rows}, nil
+}
+
+// windowSize is the number of tuples a worker claims at a time: small
+// enough to balance the bimodal per-tuple cost (cache hit vs naive CDF
+// evaluation), large enough to keep cursor traffic negligible.
+const windowSize = 64
+
+// workers resolves the effective worker count for a tuple batch: never more
+// than there are windows to claim, never less than one.
+func (b *Builder) workers(tuples int) int {
+	w := b.Parallelism
+	if windows := (tuples + windowSize - 1) / windowSize; w > windows {
+		w = windows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// generateSpan fills rows for tuples[lo:hi]; rows is the full backing array.
+func (b *Builder) generateSpan(tuples []Tuple, rows []Row, lo, hi int) error {
+	n := b.Omega.N
+	for i := lo; i < hi; i++ {
+		if err := b.generateInto(tuples[i], rows[i*n:(i+1)*n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generateParallel fans fixed-size tuple windows out across workers. Workers
+// claim windows from an atomic cursor (cheap dynamic load balancing — the
+// naive path is much more expensive per tuple than a cache hit), and every
+// window maps to a fixed span of the row array, so the merge is a no-op and
+// the output order is deterministic.
+func (b *Builder) generateParallel(tuples []Tuple, rows []Row, workers int) error {
+	windows := (len(tuples) + windowSize - 1) / windowSize
+
+	var (
+		cursor  atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				win := int(cursor.Add(1)) - 1
+				if win >= windows {
+					return
+				}
+				lo := win * windowSize
+				hi := lo + windowSize
+				if hi > len(tuples) {
+					hi = len(tuples)
+				}
+				if err := b.generateSpan(tuples, rows, lo, hi); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return firstEr
+	}
+	return nil
 }
 
 // GenerateOne evaluates Eq. (9) for a single tuple.

@@ -1,0 +1,153 @@
+package view
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// mixedTuples returns tuples exercising every generation path: Gaussian
+// (cache-eligible), nil-Dist Gaussian, and uniform (naive-only).
+func mixedTuples(n int, seed int64) []Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Tuple, n)
+	for i := range out {
+		sigma := 0.5 + 2*rng.Float64()
+		mu := 10 + rng.NormFloat64()
+		switch i % 3 {
+		case 0:
+			d, _ := dist.NewNormal(mu, sigma)
+			out[i] = Tuple{T: int64(i + 1), RHat: mu, Sigma: sigma, Dist: d}
+		case 1:
+			out[i] = Tuple{T: int64(i + 1), RHat: mu, Sigma: sigma}
+		default:
+			half := sigma * math.Sqrt(3)
+			u, _ := dist.NewUniform(mu-half, mu+half)
+			out[i] = Tuple{T: int64(i + 1), RHat: mu, Sigma: sigma, Dist: u}
+		}
+	}
+	return out
+}
+
+// TestParallelMatchesSequential is the determinism contract of the worker
+// pool: for every worker count, with and without a shared sigma-cache, the
+// parallel build must emit rows identical to the sequential build. Run under
+// -race this also proves the build is data-race free.
+func TestParallelMatchesSequential(t *testing.T) {
+	tuples := mixedTuples(1000, 7)
+	omega := Omega{Delta: 0.25, N: 8}
+
+	for _, cached := range []bool{false, true} {
+		seq, err := NewBuilder(omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq.Parallelism = 1
+		if cached {
+			if _, err := seq.AttachCache(tuples, 0.01, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := seq.Generate(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// 0 is the zero value (sequential); the rest exercise the pool.
+		for _, workers := range []int{0, 2, 3, 8, 17} {
+			par, err := NewBuilder(omega)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par.Parallelism = workers
+			par.Cache = seq.Cache // workers share one cache
+			got, err := par.Generate(tuples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Fatalf("cached=%v workers=%d: parallel rows differ from sequential", cached, workers)
+			}
+		}
+	}
+}
+
+// TestParallelSmallBatches checks the worker-count clamp: batches smaller
+// than the worker count (including a single tuple) must still build.
+func TestParallelSmallBatches(t *testing.T) {
+	omega := Omega{Delta: 0.5, N: 4}
+	for _, n := range []int{1, 2, 5} {
+		tuples := mixedTuples(n, int64(n))
+		b, err := NewBuilder(omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Parallelism = 8
+		v, err := b.Generate(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Rows) != n*omega.N {
+			t.Fatalf("n=%d: got %d rows, want %d", n, len(v.Rows), n*omega.N)
+		}
+	}
+}
+
+// TestParallelPropagatesError proves a worker failure surfaces: a tuple with
+// nil Dist and non-positive sigma cannot be materialised.
+func TestParallelPropagatesError(t *testing.T) {
+	tuples := mixedTuples(500, 3)
+	tuples[317] = Tuple{T: 318, RHat: 1, Sigma: -1}
+	b, err := NewBuilder(Omega{Delta: 0.5, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Parallelism = 4
+	if _, err := b.Generate(tuples); err == nil {
+		t.Fatal("parallel build swallowed the worker error")
+	}
+}
+
+// TestConcurrentBuilders runs independent Generate calls on builders sharing
+// one cache from many goroutines — the engine-level usage pattern when
+// several CREATE VIEW statements run at once.
+func TestConcurrentBuilders(t *testing.T) {
+	tuples := mixedTuples(300, 11)
+	omega := Omega{Delta: 0.25, N: 8}
+	shared, err := NewBuilder(omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shared.AttachCache(tuples, 0.01, 0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := shared.Generate(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b := &Builder{Omega: omega, Cache: shared.Cache, Parallelism: 2}
+			v, err := b.Generate(tuples)
+			if err == nil && !reflect.DeepEqual(v.Rows, want.Rows) {
+				err = ErrBadArg
+			}
+			errs[g] = err
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

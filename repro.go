@@ -53,6 +53,8 @@ type (
 	Inference = density.Inference
 	// Engine is the framework of Fig. 2: catalog + metrics + view builder.
 	Engine = core.Engine
+	// EngineConfig tunes an Engine (view-generation parallelism, ...).
+	EngineConfig = core.Config
 	// StreamConfig configures the online (streaming) mode.
 	StreamConfig = core.StreamConfig
 	// SigmaRange is the expected volatility band for an online sigma-cache.
@@ -73,8 +75,13 @@ type (
 	QualityResult = quality.Result
 )
 
-// NewEngine creates an empty probabilistic-database engine.
+// NewEngine creates an empty probabilistic-database engine that builds
+// Omega-views in parallel across all cores.
 func NewEngine() *Engine { return core.NewEngine() }
+
+// NewEngineWith creates an empty engine with an explicit configuration,
+// e.g. EngineConfig{Parallelism: 1} for strictly sequential view builds.
+func NewEngineWith(cfg EngineConfig) *Engine { return core.NewEngineWith(cfg) }
 
 // NewSeries creates a Series from points with strictly increasing
 // timestamps.
