@@ -4,11 +4,20 @@
 //
 // Usage:
 //
-//	tspdb -load table=path.csv [-load table2=path2.csv] [-exec "QUERY"] [-out view.csv] [-parallel N]
+//	tspdb -load table=path.csv [-load table2=path2.csv] [-exec "QUERY"] [-out view.csv] [-parallel N] [-server URL]
 //
 // Without -exec the tool reads statements from stdin, one per line.
 // -parallel sets the view-generation worker count (0 = all cores,
 // 1 = sequential); the materialised rows are identical at every setting.
+// With -server URL the shell becomes a thin client of a running tspdbd:
+// -load uploads the CSVs and statements execute remotely via POST /query.
+//
+// A failing -exec statement exits non-zero; syntax errors point at the
+// offending position:
+//
+//	tspdb: query: syntax error at position 8: expected VIEW, found "VEIW"
+//	  CREATE VEIW pv AS ...
+//	          ^
 //
 // Example:
 //
@@ -20,6 +29,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +38,7 @@ import (
 
 	"repro"
 	"repro/internal/query"
+	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/view"
 )
@@ -46,16 +57,62 @@ func main() {
 	exec := flag.String("exec", "", "statement to execute (omit for interactive mode)")
 	out := flag.String("out", "", "write the created view as CSV to this file")
 	parallel := flag.Int("parallel", 0, "view-generation workers (0 = all cores, 1 = sequential)")
+	serverURL := flag.String("server", "", "tspdbd base URL; run as a thin client instead of in-process")
 	flag.Parse()
 
-	if err := run(loads, *exec, *out, *parallel); err != nil {
-		fmt.Fprintln(os.Stderr, "tspdb:", err)
+	if err := run(loads, *exec, *out, *parallel, *serverURL); err != nil {
+		fmt.Fprintln(os.Stderr, "tspdb:", formatError(err, *exec))
 		os.Exit(1)
 	}
 }
 
-func run(loads loadFlags, exec, out string, parallel int) error {
-	engine := repro.NewEngineWith(repro.EngineConfig{Parallelism: parallel})
+// formatError renders a statement failure; syntax errors gain a caret line
+// pointing at the offending position of stmt.
+func formatError(err error, stmt string) string {
+	var syn *query.SyntaxError
+	if stmt != "" && errors.As(err, &syn) && syn.Pos >= 0 && syn.Pos <= len(stmt) {
+		return fmt.Sprintf("%v\n  %s\n  %s^", err, stmt, strings.Repeat(" ", syn.Pos))
+	}
+	return err.Error()
+}
+
+// executor abstracts where a statement runs: the in-process engine or a
+// remote tspdbd via the thin client.
+type executor func(stmt, out string) error
+
+func run(loads loadFlags, exec, out string, parallel int, serverURL string) error {
+	// load registers one opened CSV under a table name, returning the row
+	// count and the action verb for the progress line.
+	var load func(name string, f *os.File) (int, string, error)
+	var execute executor
+	if serverURL != "" {
+		if parallel != 0 {
+			fmt.Fprintln(os.Stderr, "tspdb: -parallel is ignored with -server (set it on tspdbd)")
+		}
+		client := server.NewClient(strings.TrimRight(serverURL, "/"))
+		load = func(name string, f *os.File) (int, string, error) {
+			resp, err := client.CreateTableCSV(name, f)
+			if err != nil {
+				return 0, "", err
+			}
+			return resp.Rows, "uploaded", nil
+		}
+		execute = func(stmt, out string) error { return executeRemote(client, stmt, out) }
+	} else {
+		engine := repro.NewEngineWith(repro.EngineConfig{Parallelism: parallel})
+		load = func(name string, f *os.File) (int, string, error) {
+			s, err := repro.ReadSeriesCSV(f)
+			if err != nil {
+				return 0, "", err
+			}
+			if err := engine.RegisterSeries(name, s); err != nil {
+				return 0, "", err
+			}
+			return s.Len(), "loaded", nil
+		}
+		execute = func(stmt, out string) error { return executeLocal(engine, stmt, out) }
+	}
+
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -65,19 +122,16 @@ func run(loads loadFlags, exec, out string, parallel int) error {
 		if err != nil {
 			return err
 		}
-		s, err := repro.ReadSeriesCSV(f)
+		rows, verb, err := load(name, f)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		if err := engine.RegisterSeries(name, s); err != nil {
-			return err
-		}
-		fmt.Printf("loaded %s: %d rows\n", name, s.Len())
+		fmt.Printf("%s %s: %d rows\n", verb, name, rows)
 	}
 
 	if exec != "" {
-		return execute(engine, exec, out)
+		return execute(exec, out)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -96,13 +150,62 @@ func run(loads loadFlags, exec, out string, parallel int) error {
 		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			return nil
 		}
-		if err := execute(engine, line, out); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+		if err := execute(line, out); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", formatError(err, line))
 		}
 	}
 }
 
-func execute(engine *repro.Engine, stmt, out string) error {
+// executeRemote runs one statement on a tspdbd and prints its result.
+func executeRemote(client *server.Client, stmt, out string) error {
+	res, err := client.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	switch res.Kind {
+	case "view":
+		v := res.View
+		fmt.Printf("created view %q: %d rows (metric %s, delta=%g, n=%d)\n",
+			v.Name, v.Rows, v.Metric, v.Delta, v.N)
+		if res.Cache != nil {
+			fmt.Printf("sigma-cache: %d entries, %d hits, %d misses, ~%d KiB\n",
+				res.Cache.Entries, res.Cache.Hits, res.Cache.Misses, res.Cache.ApproxBytes/1024)
+		}
+		if out != "" {
+			if err := writeRemoteViewCSV(client, v.Name, out); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	case "rows":
+		printRows(res.Columns, res.Rows)
+	default:
+		fmt.Println("ok")
+	}
+	fmt.Printf("(%.3fms)\n", res.ElapsedMS)
+	return nil
+}
+
+func writeRemoteViewCSV(client *server.Client, viewName, path string) error {
+	rows, err := client.AllViewRows(viewName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "t,lambda,lo,hi,prob")
+	for _, r := range rows.Rows {
+		fmt.Fprintf(f, "%d,%d,%g,%g,%g\n", r.T, r.Lambda, r.Lo, r.Hi, r.Prob)
+	}
+	return nil
+}
+
+// executeLocal runs one statement on the in-process engine and prints its
+// result.
+func executeLocal(engine *repro.Engine, stmt, out string) error {
 	res, err := engine.Exec(stmt)
 	if err != nil {
 		return err
@@ -128,7 +231,7 @@ func execute(engine *repro.Engine, stmt, out string) error {
 func printViewSummary(res *query.Result) {
 	v := res.View
 	fmt.Printf("created view %q: %d tuples x %d ranges = %d rows (metric %s, delta=%g)\n",
-		v.Name, len(v.Times()), v.Omega.N, len(v.Rows), v.MetricName, v.Omega.Delta)
+		v.Name, len(v.Times()), v.Omega.N, v.NumRows(), v.MetricName, v.Omega.Delta)
 	if res.CacheStats != nil {
 		st := res.CacheStats
 		fmt.Printf("sigma-cache: %d entries, %d hits, %d misses, ~%d KiB\n",
@@ -150,6 +253,6 @@ func writeViewCSV(p *storage.ProbTable, path string) error {
 		return err
 	}
 	defer f.Close()
-	v := &view.View{Omega: p.Omega, Rows: p.Rows}
+	v := &view.View{Omega: p.Omega, Rows: p.SnapshotRows()}
 	return v.WriteCSV(f)
 }

@@ -1,0 +1,118 @@
+// Command tspdbd is the network daemon of the probabilistic time-series
+// database: it serves the engine's ingest, query and probabilistic-view
+// surfaces over HTTP/JSON to concurrent clients.
+//
+// Usage:
+//
+//	tspdbd [-addr :8080] [-load table=path.csv]... [-restore snap] \
+//	       [-snapshot snap] [-snapshot-on-exit] [-parallel N] \
+//	       [-max-builds N] [-max-batch N]
+//
+// -restore loads a gob snapshot (written by POST /snapshot, GET /snapshot or
+// tspdb) before serving. -snapshot names the path POST /snapshot writes to;
+// with -snapshot-on-exit the daemon also persists there on graceful
+// shutdown (SIGINT/SIGTERM).
+//
+// See DESIGN.md for the endpoint table; quick start:
+//
+//	tspdbd -addr :8080 -load raw_values=campus.csv &
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/query -d '{"q":"CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=8 FROM raw_values WHERE t >= 100 AND t <= 200"}'
+//	curl 'localhost:8080/views/pv/topk?t=150&k=3'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	flag.Var(&loads, "load", "table=csvfile pair; repeatable")
+	addr := flag.String("addr", ":8080", "listen address")
+	restore := flag.String("restore", "", "load a catalog snapshot before serving")
+	snapshot := flag.String("snapshot", "", "path POST /snapshot persists the catalog to")
+	snapOnExit := flag.Bool("snapshot-on-exit", false, "write a snapshot on graceful shutdown (requires -snapshot)")
+	parallel := flag.Int("parallel", 0, "view-generation workers (0 = all cores, 1 = sequential)")
+	maxBuilds := flag.Int("max-builds", 2, "concurrent CREATE VIEW materialisations")
+	maxBatch := flag.Int("max-batch", 10000, "max points per ingest request")
+	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+	flag.Parse()
+
+	if err := run(loads, *addr, *restore, *snapshot, *snapOnExit, *parallel, *maxBuilds, *maxBatch, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "tspdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(loads loadFlags, addr, restore, snapshot string, snapOnExit bool, parallel, maxBuilds, maxBatch int, grace time.Duration) error {
+	if snapOnExit && snapshot == "" {
+		return fmt.Errorf("-snapshot-on-exit requires -snapshot")
+	}
+	engine := repro.NewEngineWith(repro.EngineConfig{Parallelism: parallel})
+	if restore != "" {
+		if err := engine.DB().LoadFile(restore); err != nil {
+			return fmt.Errorf("restore %s: %w", restore, err)
+		}
+		log.Printf("restored %d table(s) from %s", len(engine.DB().List()), restore)
+	}
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -load %q (want table=path.csv)", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		s, err := repro.ReadSeriesCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := engine.RegisterSeries(name, s); err != nil {
+			return err
+		}
+		log.Printf("loaded %s: %d rows", name, s.Len())
+	}
+
+	srv := repro.NewServer(engine, repro.ServerConfig{
+		SnapshotPath:  snapshot,
+		MaxViewBuilds: maxBuilds,
+		MaxBatch:      maxBatch,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("tspdbd listening on %s", addr)
+	err := srv.Run(ctx, addr, grace)
+	if err != nil {
+		return err
+	}
+	log.Printf("tspdbd shut down cleanly")
+	if snapOnExit {
+		n, err := engine.DB().SaveFile(snapshot)
+		if err != nil {
+			return fmt.Errorf("exit snapshot: %w", err)
+		}
+		log.Printf("wrote exit snapshot %s (%d bytes)", snapshot, n)
+	}
+	return nil
+}

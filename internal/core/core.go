@@ -15,6 +15,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/clean"
 	"repro/internal/density"
@@ -28,6 +30,12 @@ import (
 // Errors reported by the engine.
 var (
 	ErrBadArg = errors.New("core: invalid argument")
+	// ErrStreamExists reports an attempt to open a second online stream on a
+	// source table that already has one.
+	ErrStreamExists = errors.New("core: stream already open")
+	// ErrStreamNotFound reports a lookup of a stream that was never opened
+	// (or has been closed).
+	ErrStreamNotFound = errors.New("core: no open stream")
 )
 
 // Config tunes an Engine.
@@ -38,10 +46,20 @@ type Config struct {
 	Parallelism int
 }
 
-// Engine is the framework instance.
+// Engine is the framework instance. All methods are safe for concurrent
+// use; online streams additionally serialise their own Step calls, so an
+// Engine can sit directly behind a network server.
 type Engine struct {
 	db  *storage.DB
 	cfg Config
+
+	mu      sync.Mutex
+	streams map[string]*Stream // open streams, keyed by source table
+	// execCache accumulates hit/miss counters of the short-lived caches
+	// that Exec'd CREATE VIEW ... CACHE statements attach. Only the
+	// counters are summed: entry counts and byte sizes are gauges of
+	// resident caches, and these are discarded after each build.
+	execCache sigmacache.Stats
 }
 
 // NewEngine creates an empty engine with the default configuration
@@ -52,7 +70,7 @@ func NewEngine() *Engine {
 
 // NewEngineWith creates an empty engine with an explicit configuration.
 func NewEngineWith(cfg Config) *Engine {
-	return &Engine{db: storage.NewDB(), cfg: cfg}
+	return &Engine{db: storage.NewDB(), cfg: cfg, streams: make(map[string]*Stream)}
 }
 
 // SetParallelism changes the view-generation worker count (see Config).
@@ -81,7 +99,28 @@ func (e *Engine) RegisterTable(name, timeCol, valueCol string, s *timeseries.Ser
 // SELECT, SHOW TABLES, DROP TABLE) against the engine's catalog. CREATE VIEW
 // statements materialise their view with the engine's configured parallelism.
 func (e *Engine) Exec(q string) (*query.Result, error) {
-	return query.ExecWith(e.db, q, query.Options{Parallelism: e.cfg.Parallelism})
+	return e.finishExec(query.ExecWith(e.db, q, query.Options{Parallelism: e.cfg.Parallelism}))
+}
+
+// ExecStmt executes an already-parsed statement (see query.Parse). Callers
+// that need to inspect the statement before running it — e.g. the server's
+// build admission gate — parse once and hand the AST over instead of
+// re-parsing through Exec.
+func (e *Engine) ExecStmt(stmt query.Stmt) (*query.Result, error) {
+	return e.finishExec(query.ExecStmtWith(e.db, stmt, query.Options{Parallelism: e.cfg.Parallelism}))
+}
+
+func (e *Engine) finishExec(res *query.Result, err error) (*query.Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	if st := res.CacheStats; st != nil {
+		e.mu.Lock()
+		e.execCache.Hits += st.Hits
+		e.execCache.Misses += st.Misses
+		e.mu.Unlock()
+	}
+	return res, nil
 }
 
 // View fetches a materialised probabilistic view.
@@ -135,25 +174,33 @@ type CleanStreamConfig struct {
 	SVMax float64
 }
 
-// Stream is a live online pipeline.
+// Stream is a live online pipeline. Step calls serialise on an internal
+// lock, so a Stream may be driven from multiple goroutines (e.g. competing
+// network requests); callers that need a deterministic ingest order must
+// still provide it themselves.
 type Stream struct {
 	engine  *Engine
 	cfg     StreamConfig
 	builder *view.Builder
 	online  *view.OnlineBuilder // plain path (no cleaning)
 	proc    *clean.Processor    // C-GARCH path (cleaning enabled)
-	lastT   int64
-	started bool
 	table   *storage.ProbTable
 	metric  density.Metric
 	cache   *sigmacache.Cache
+
+	mu      sync.Mutex // serialises Step; guards lastT, started, steps
+	lastT   int64
+	started bool
+	steps   int64
+	closed  bool
 }
 
 // OpenStream starts the online mode on a registered raw table. The table
 // must already hold at least H values (the warm-up window); subsequent
-// values arrive through Step.
+// values arrive through Step. At most one stream may be open per source
+// table; Close releases the slot.
 func (e *Engine) OpenStream(cfg StreamConfig) (*Stream, error) {
-	raw, err := e.db.RawTable(cfg.Source)
+	n, err := e.db.RawLen(cfg.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -171,9 +218,9 @@ func (e *Engine) OpenStream(cfg StreamConfig) (*Stream, error) {
 	if h < metric.MinWindow() {
 		h = metric.MinWindow()
 	}
-	if raw.Series.Len() < h {
+	if n < h {
 		return nil, fmt.Errorf("%w: table %q holds %d values; warm-up needs %d",
-			ErrBadArg, cfg.Source, raw.Series.Len(), h)
+			ErrBadArg, cfg.Source, n, h)
 	}
 	if cfg.ViewName == "" {
 		return nil, fmt.Errorf("%w: empty view name", ErrBadArg)
@@ -201,14 +248,11 @@ func (e *Engine) OpenStream(cfg StreamConfig) (*Stream, error) {
 		builder.Cache = cache
 	}
 
-	// Warm up from the last H stored values.
-	warm := make([]float64, h)
-	for i := 0; i < h; i++ {
-		p, err := raw.Series.At(raw.Series.Len() - h + i)
-		if err != nil {
-			return nil, err
-		}
-		warm[i] = p.V
+	// Warm up from the last H stored values (copied under the catalog lock,
+	// so concurrent appends to other tables cannot tear the window).
+	warm, err := e.db.RawTail(cfg.Source, h)
+	if err != nil {
+		return nil, err
 	}
 
 	stream := &Stream{engine: e, cfg: cfg, builder: builder, metric: metric, cache: cache}
@@ -234,11 +278,96 @@ func (e *Engine) OpenStream(cfg StreamConfig) (*Stream, error) {
 		MetricName: metric.Name(),
 		Omega:      cfg.Omega,
 	}
+
+	// Fail fast on an obvious duplicate before touching the catalog.
+	e.mu.Lock()
+	if _, dup := e.streams[cfg.Source]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: table %q", ErrStreamExists, cfg.Source)
+	}
+	e.mu.Unlock()
+
 	if err := e.db.StoreView(table); err != nil {
 		return nil, err
 	}
 	stream.table = table
+
+	// Register only the fully initialised stream: once it is visible in the
+	// registry a concurrent ingest request may Step it immediately. Re-check
+	// the slot in case another open won the race since the pre-check.
+	e.mu.Lock()
+	if _, dup := e.streams[cfg.Source]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: table %q", ErrStreamExists, cfg.Source)
+	}
+	e.streams[cfg.Source] = stream
+	e.mu.Unlock()
 	return stream, nil
+}
+
+// Stream returns the open stream on a source table.
+func (e *Engine) Stream(source string) (*Stream, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.streams[source]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q", ErrStreamNotFound, source)
+	}
+	return s, nil
+}
+
+// StreamInfo describes one open stream for monitoring surfaces.
+type StreamInfo struct {
+	Source   string
+	ViewName string
+	Metric   string
+	Steps    int64
+	Cache    sigmacache.Stats
+}
+
+// Streams lists the open streams sorted by source table.
+func (e *Engine) Streams() []StreamInfo {
+	e.mu.Lock()
+	streams := make([]*Stream, 0, len(e.streams))
+	for _, s := range e.streams {
+		streams = append(streams, s)
+	}
+	e.mu.Unlock()
+	out := make([]StreamInfo, 0, len(streams))
+	for _, s := range streams {
+		out = append(out, StreamInfo{
+			Source:   s.cfg.Source,
+			ViewName: s.cfg.ViewName,
+			Metric:   s.metric.Name(),
+			Steps:    s.Steps(),
+			Cache:    s.CacheStats(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// AggregateCacheStats sums sigma-cache effectiveness across the engine's
+// caches. Hits and Misses are cumulative counters covering open streams and
+// every past Exec-attached cache; Entries and ApproxBytes are gauges of the
+// caches currently resident (open streams only — build caches are discarded
+// with their builder).
+func (e *Engine) AggregateCacheStats() sigmacache.Stats {
+	e.mu.Lock()
+	total := e.execCache
+	streams := make([]*Stream, 0, len(e.streams))
+	for _, s := range e.streams {
+		streams = append(streams, s)
+	}
+	e.mu.Unlock()
+	for _, s := range streams {
+		st := s.CacheStats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Entries += st.Entries
+		total.ApproxBytes += st.ApproxBytes
+	}
+	return total
 }
 
 // StepResult augments view rows with the C-GARCH cleaning outcome.
@@ -266,6 +395,11 @@ func (s *Stream) Step(p timeseries.Point) ([]view.Row, error) {
 
 // StepDetailed is Step plus the cleaning outcome.
 func (s *Stream) StepDetailed(p timeseries.Point) (*StepResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("%w: stream on %q is closed", ErrBadArg, s.cfg.Source)
+	}
 	if s.started && p.T <= s.lastT {
 		return nil, fmt.Errorf("%w: non-increasing timestamp %d", ErrBadArg, p.T)
 	}
@@ -293,10 +427,41 @@ func (s *Stream) StepDetailed(p timeseries.Point) (*StepResult, error) {
 	if err := s.engine.db.AppendRaw(s.cfg.Source, p); err != nil {
 		return nil, err
 	}
-	s.table.Rows = append(s.table.Rows, out.Rows...)
+	s.table.AppendRows(out.Rows)
 	s.lastT = p.T
 	s.started = true
+	s.steps++
 	return out, nil
+}
+
+// Steps reports how many values the stream has ingested.
+func (s *Stream) Steps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// Source returns the raw table the stream ingests into.
+func (s *Stream) Source() string { return s.cfg.Source }
+
+// ViewName returns the materialised view the stream extends.
+func (s *Stream) ViewName() string { return s.cfg.ViewName }
+
+// Close releases the stream's slot on its source table. The materialised
+// view stays in the catalog; further Step calls fail with ErrBadArg.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.engine.mu.Lock()
+	if s.engine.streams[s.cfg.Source] == s {
+		delete(s.engine.streams, s.cfg.Source)
+	}
+	s.engine.mu.Unlock()
 }
 
 // CacheStats reports sigma-cache effectiveness (zero Stats when no cache is

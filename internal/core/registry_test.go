@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/view"
+)
+
+func registryEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine()
+	vs := make([]float64, 32)
+	for i := range vs {
+		vs[i] = 10 + float64(i%7)*0.3
+	}
+	if err := e.RegisterSeries("src", timeseries.FromValues(vs)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestStreamRegistry(t *testing.T) {
+	e := registryEngine(t)
+	cfg := StreamConfig{Source: "src", ViewName: "live", H: 16, Omega: view.Omega{Delta: 1, N: 2},
+		SigmaRange: &SigmaRange{Min: 1e-3, Max: 10, DistanceConstraint: 0.01}}
+
+	s, err := e.OpenStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OpenStream(cfg); !errors.Is(err, ErrStreamExists) {
+		t.Fatalf("second OpenStream: got %v, want ErrStreamExists", err)
+	}
+	got, err := e.Stream("src")
+	if err != nil || got != s {
+		t.Fatalf("Stream lookup: %v, %v", got, err)
+	}
+	if _, err := e.Stream("ghost"); !errors.Is(err, ErrStreamNotFound) {
+		t.Fatalf("ghost lookup: got %v, want ErrStreamNotFound", err)
+	}
+
+	if _, err := s.Step(timeseries.Point{T: 100, V: 11}); err != nil {
+		t.Fatal(err)
+	}
+	infos := e.Streams()
+	if len(infos) != 1 || infos[0].Source != "src" || infos[0].ViewName != "live" || infos[0].Steps != 1 {
+		t.Fatalf("Streams() = %+v", infos)
+	}
+	if agg := e.AggregateCacheStats(); agg.Entries == 0 {
+		t.Fatalf("aggregate cache stats empty: %+v", agg)
+	}
+
+	s.Close()
+	if _, err := e.Stream("src"); !errors.Is(err, ErrStreamNotFound) {
+		t.Fatalf("closed stream still registered: %v", err)
+	}
+	if _, err := s.Step(timeseries.Point{T: 101, V: 11}); !errors.Is(err, ErrBadArg) {
+		t.Fatalf("step on closed stream: got %v, want ErrBadArg", err)
+	}
+	// The slot is free again and the view name can be replaced.
+	cfg.ViewName = "live2"
+	if _, err := e.OpenStream(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ var (
 	ErrUnknownMetric  = errors.New("query: unknown metric")
 	ErrBadMetricArg   = errors.New("query: invalid metric parameter")
 	ErrColumnMismatch = errors.New("query: column names do not match the source table")
+	ErrUnsupported    = errors.New("query: unsupported statement")
 )
 
 // DefaultWindow is the sliding-window length used when a CREATE VIEW query
@@ -98,7 +99,7 @@ func ExecStmtWith(db *storage.DB, stmt Stmt, opts Options) (*Result, error) {
 		err = db.Drop(s.Table)
 		res = &Result{Kind: "ok"}
 	default:
-		err = fmt.Errorf("query: unsupported statement %T", stmt)
+		err = fmt.Errorf("%w: %T", ErrUnsupported, stmt)
 	}
 	if err != nil {
 		return nil, err
@@ -197,7 +198,15 @@ func execCreateView(db *storage.DB, s *CreateViewStmt, opts Options) (*Result, e
 	if s.Where != nil {
 		tLo, tHi = s.Where.Lo, s.Where.Hi
 	}
-	tuples, err := view.TuplesFromSeries(raw.Series, metric, h, tLo, tHi)
+	// Build from a snapshot of the series so the (potentially long) window
+	// inference and view generation run without holding any catalog lock:
+	// online ingest into the same table proceeds concurrently and the view
+	// covers a consistent prefix.
+	series, err := db.SnapshotSeries(s.From)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := view.TuplesFromSeries(series, metric, h, tLo, tHi)
 	if err != nil {
 		return nil, err
 	}
@@ -256,10 +265,7 @@ func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
 	// Probabilistic view?
 	if pv, err := db.View(s.Table); err == nil {
 		res := &Result{Kind: "rows", Columns: []string{"t", "lambda", "lo", "hi", "prob"}}
-		for _, r := range pv.Rows {
-			if r.T < tLo || r.T > tHi {
-				continue
-			}
+		for _, r := range pv.RowsRange(tLo, tHi) {
 			res.Rows = append(res.Rows, []string{
 				strconv.FormatInt(r.T, 10),
 				strconv.Itoa(r.Lambda),
@@ -280,7 +286,10 @@ func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Kind: "rows", Columns: []string{raw.TimeCol, raw.ValueCol}}
-	sub := raw.Series.TimeRange(tLo, tHi)
+	sub, err := db.ScanRaw(s.Table, tLo, tHi)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < sub.Len(); i++ {
 		p, err := sub.At(i)
 		if err != nil {
@@ -331,7 +340,7 @@ func execAggregate(pv *storage.ProbTable, s *SelectStmt, tLo, tHi int64) (*Resul
 		}
 		return scalarResult("count", v), nil
 	default:
-		return nil, fmt.Errorf("query: unsupported aggregate %q", s.Agg.Name)
+		return nil, fmt.Errorf("%w: aggregate %q", ErrUnsupported, s.Agg.Name)
 	}
 }
 

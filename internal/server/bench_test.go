@@ -1,0 +1,57 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkServerQuery measures end-to-end request throughput of the hot
+// read path: a probabilistic range query against a materialised view,
+// through the full HTTP stack (client, mux, metrics, probdb). RunParallel
+// models many concurrent clients; the req/s metric is the headline number
+// for the serving-layer perf trajectory.
+func BenchmarkServerQuery(b *testing.B) {
+	_, client, _ := newTestServer(b, Config{})
+	if _, err := client.Exec(`CREATE VIEW bench AS DENSITY r OVER t OMEGA delta=0.5, n=8 WINDOW 16 CACHE DISTANCE 0.01 FROM campus WHERE t >= 30 AND t <= 150`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		c := NewClient(client.Base)
+		for pb.Next() {
+			if _, err := c.RangeProb("bench", 100, 15, 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if d := time.Since(start).Seconds(); d > 0 {
+		b.ReportMetric(float64(b.N)/d, "req/s")
+	}
+}
+
+// BenchmarkServerIngest measures online ingest throughput through the HTTP
+// stack: batches of 10 points per request, each returning its generated
+// view rows.
+func BenchmarkServerIngest(b *testing.B) {
+	_, client, _ := newTestServer(b, Config{})
+	if _, err := client.OpenStream("campus", OpenStreamRequest{View: "live", H: 16, Delta: 0.5, N: 8,
+		SigmaMin: 1e-3, SigmaMax: 50, Distance: 0.01}); err != nil {
+		b.Fatal(err)
+	}
+	const batch = 10
+	next := int64(1000)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Ingest("campus", synthJSON(next, batch)); err != nil {
+			b.Fatal(err)
+		}
+		next += batch
+	}
+	b.StopTimer()
+	if d := time.Since(start).Seconds(); d > 0 {
+		b.ReportMetric(float64(b.N*batch)/d, "points/s")
+	}
+}

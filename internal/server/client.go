@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Client is a thin typed client for a tspdbd server. The zero HTTP client
+// is replaced with http.DefaultClient; Base is e.g. "http://localhost:8080".
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx server response decoded from the error body.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+}
+
+// do sends a request with a JSON body (nil for none) and decodes the JSON
+// response into out (nil to discard).
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	contentType := ""
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+		contentType = "application/json"
+	}
+	return c.doRaw(method, path, rd, contentType, out)
+}
+
+// doRaw sends a request with an arbitrary body and decodes the JSON
+// response into out (nil to discard).
+func (c *Client) doRaw(method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr ErrorResponse
+		msg := ""
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health() (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateTable registers a raw table from points.
+func (c *Client) CreateTable(name string, req CreateTableRequest) (*CreateTableResponse, error) {
+	var out CreateTableResponse
+	if err := c.do(http.MethodPut, "/tables/"+url.PathEscape(name), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateTableCSV registers a raw table from a "t,value" CSV stream.
+func (c *Client) CreateTableCSV(name string, csv io.Reader) (*CreateTableResponse, error) {
+	var out CreateTableResponse
+	err := c.doRaw(http.MethodPut, "/tables/"+url.PathEscape(name), csv, "text/csv", &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// OpenStream opens an online stream on a table.
+func (c *Client) OpenStream(table string, req OpenStreamRequest) (*OpenStreamResponse, error) {
+	var out OpenStreamResponse
+	if err := c.do(http.MethodPost, "/tables/"+url.PathEscape(table)+"/stream", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CloseStream closes the stream on a table.
+func (c *Client) CloseStream(table string) error {
+	return c.do(http.MethodDelete, "/tables/"+url.PathEscape(table)+"/stream", nil, nil)
+}
+
+// Ingest streams a batch of points and returns the generated view rows.
+func (c *Client) Ingest(table string, points []PointJSON) (*IngestResponse, error) {
+	var out IngestResponse
+	err := c.do(http.MethodPost, "/tables/"+url.PathEscape(table)+"/points", IngestRequest{Points: points}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Exec runs a Fig. 7 statement on the server.
+func (c *Client) Exec(q string) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.do(http.MethodPost, "/query", QueryRequest{Q: q}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ViewRows scans a view's rows with timestamp in [from, to].
+func (c *Client) ViewRows(view string, from, to int64) (*ViewRowsResponse, error) {
+	var out ViewRowsResponse
+	path := "/views/" + url.PathEscape(view) + "/rows?from=" + strconv.FormatInt(from, 10) +
+		"&to=" + strconv.FormatInt(to, 10)
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AllViewRows scans every row of a view.
+func (c *Client) AllViewRows(view string) (*ViewRowsResponse, error) {
+	var out ViewRowsResponse
+	if err := c.do(http.MethodGet, "/views/"+url.PathEscape(view)+"/rows", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RangeProb asks P(lo < R_t <= hi) at one timestamp.
+func (c *Client) RangeProb(view string, t int64, lo, hi float64) (float64, error) {
+	var out RangeProbResponse
+	// url.Values percent-escapes the '+' of exponent-formatted floats,
+	// which a hand-built query string would leave to decode as a space.
+	q := url.Values{
+		"t":  {strconv.FormatInt(t, 10)},
+		"lo": {strconv.FormatFloat(lo, 'g', -1, 64)},
+		"hi": {strconv.FormatFloat(hi, 'g', -1, 64)},
+	}
+	path := "/views/" + url.PathEscape(view) + "/rangeprob?" + q.Encode()
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return 0, err
+	}
+	if out.Prob == nil {
+		return 0, fmt.Errorf("server: rangeprob response missing prob")
+	}
+	return *out.Prob, nil
+}
+
+// TopK asks for the k most probable Omega ranges at one timestamp.
+func (c *Client) TopK(view string, t int64, k int) ([]RowJSON, error) {
+	var out TopKResponse
+	path := fmt.Sprintf("/views/%s/topk?t=%d&k=%d", url.PathEscape(view), t, k)
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}
+
+// Buckets runs the bucketed query (Fig. 1 rooms) at one timestamp.
+func (c *Client) Buckets(view string, t int64, buckets []BucketJSON) ([]BucketProbJSON, error) {
+	var out BucketsResponse
+	err := c.do(http.MethodPost, "/views/"+url.PathEscape(view)+"/buckets",
+		BucketsRequest{T: t, Buckets: buckets}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Buckets, nil
+}
+
+// Snapshot asks the server to persist its catalog to the configured path.
+func (c *Client) Snapshot() (*SnapshotResponse, error) {
+	var out SnapshotResponse
+	if err := c.do(http.MethodPost, "/snapshot", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

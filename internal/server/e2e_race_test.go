@@ -1,0 +1,261 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/timeseries"
+	"repro/internal/view"
+)
+
+// TestE2EConcurrentClients drives >= 8 concurrent clients — mixed online
+// ingest, offline view generation and probabilistic queries — against one
+// server and then proves the served rows are byte-identical to an offline
+// in-process build of the same data. Run it under -race (CI does) to also
+// exercise the locking of the catalog, the per-table row locks and the
+// stream registry.
+func TestE2EConcurrentClients(t *testing.T) {
+	const (
+		warmN   = 16 // warm-up points per streamed table
+		streamN = 60 // points each ingest client streams
+		batchN  = 10 // points per ingest request
+		builds  = 2  // CREATE VIEW statements per builder client
+	)
+	streamTables := []string{"s0", "s1", "s2"}
+	omega := view.Omega{Delta: 0.5, N: 8}
+
+	engine := core.NewEngine()
+	for i, name := range streamTables {
+		base := int64(1000 * (i + 1))
+		series, err := timeseries.New(synth(base, warmN))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.RegisterSeries(name, series); err != nil {
+			t.Fatal(err)
+		}
+	}
+	static, err := timeseries.New(synth(1, 160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.RegisterSeries("campus", static); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(New(engine, Config{}))
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	for _, name := range streamTables {
+		_, err := client.OpenStream(name, OpenStreamRequest{
+			View: name + "_view", H: warmN, Delta: omega.Delta, N: omega.N,
+			SigmaMin: 1e-3, SigmaMax: 50, Distance: 0.01,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	fail := func(format string, args ...any) { errc <- fmt.Errorf(format, args...) }
+
+	// 3 ingest clients, one per streamed table.
+	for i, name := range streamTables {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			base := int64(1000*(i+1)) + warmN
+			for off := 0; off < streamN; off += batchN {
+				resp, err := c.Ingest(name, synthJSON(base+int64(off), batchN))
+				if err != nil {
+					fail("ingest %s@%d: %v", name, off, err)
+					return
+				}
+				if resp.Ingested != batchN || len(resp.Rows) != batchN*omega.N {
+					fail("ingest %s@%d: %d points, %d rows", name, off, resp.Ingested, len(resp.Rows))
+					return
+				}
+			}
+		}(i, name)
+	}
+
+	// 2 view-builder clients issuing CREATE VIEW over the static table.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			for i := 0; i < builds; i++ {
+				name := fmt.Sprintf("cv_%d_%d", w, i)
+				q := fmt.Sprintf(`CREATE VIEW %s AS DENSITY r OVER t OMEGA delta=0.5, n=8 WINDOW 16 CACHE DISTANCE 0.01 FROM campus WHERE t >= 30 AND t <= 140`, name)
+				res, err := c.Exec(q)
+				if err != nil {
+					fail("build %s: %v", name, err)
+					return
+				}
+				if res.View == nil || res.View.Rows == 0 {
+					fail("build %s: empty view", name)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// 3 probabilistic query clients: scans, rangeprob, topk, buckets,
+	// SELECTs and monitoring, racing the builds and the ingest. Views may
+	// not exist yet and tuples may not be materialised yet, so 4xx is
+	// expected; transport failures and 5xx are not.
+	tolerate := func(err error) bool {
+		if err == nil {
+			return true
+		}
+		var apiErr *APIError
+		return errors.As(err, &apiErr) && apiErr.Status < 500
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			for i := 0; i < 25; i++ {
+				sv := streamTables[(w+i)%len(streamTables)] + "_view"
+				if _, err := c.ViewRows(sv, 0, 1<<60); !tolerate(err) {
+					fail("scan %s: %v", sv, err)
+					return
+				}
+				if _, err := c.RangeProb(sv, int64(1000*((w+i)%3+1))+warmN+5, 0, 100); !tolerate(err) {
+					fail("rangeprob %s: %v", sv, err)
+					return
+				}
+				cv := fmt.Sprintf("cv_%d_%d", w%2, i%builds)
+				if _, err := c.TopK(cv, 100, 3); !tolerate(err) {
+					fail("topk %s: %v", cv, err)
+					return
+				}
+				if _, err := c.Buckets(cv, 100, []BucketJSON{
+					{Name: "low", Lo: 0, Hi: 20}, {Name: "high", Lo: 20, Hi: 40},
+				}); !tolerate(err) {
+					fail("buckets %s: %v", cv, err)
+					return
+				}
+				if _, err := c.Exec(`SELECT * FROM campus WHERE t >= 10 AND t <= 20`); !tolerate(err) {
+					fail("select: %v", err)
+					return
+				}
+				if _, err := c.Health(); err != nil {
+					fail("health: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Equivalence: every streamed view served over HTTP must be
+	// byte-identical (as canonical JSON) to an offline in-process build of
+	// the same warm-up + points.
+	for i, name := range streamTables {
+		served, err := client.AllViewRows(name + "_view")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := offlineStreamRows(t, int64(1000*(i+1)), warmN, streamN, omega)
+		assertRowsIdentical(t, name+"_view", served.Rows, ref)
+	}
+
+	// And the concurrently built offline views must match a sequential
+	// single-engine build of the same statement.
+	refEngine := core.NewEngineWith(core.Config{Parallelism: 1})
+	if err := refEngine.RegisterSeries("campus", static.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refEngine.Exec(`CREATE VIEW ref AS DENSITY r OVER t OMEGA delta=0.5, n=8 WINDOW 16 CACHE DISTANCE 0.01 FROM campus WHERE t >= 30 AND t <= 140`); err != nil {
+		t.Fatal(err)
+	}
+	refView, err := refEngine.View("ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows := rowsJSON(refView.SnapshotRows())
+	for w := 0; w < 2; w++ {
+		for i := 0; i < builds; i++ {
+			name := fmt.Sprintf("cv_%d_%d", w, i)
+			served, err := client.AllViewRows(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRowsIdentical(t, name, served.Rows, refRows)
+		}
+	}
+}
+
+// offlineStreamRows rebuilds a streamed view in-process: same warm-up, same
+// points, same Omega and sigma-range, no server in the path.
+func offlineStreamRows(t *testing.T, base int64, warmN, streamN int, omega view.Omega) []RowJSON {
+	t.Helper()
+	engine := core.NewEngine()
+	series, err := timeseries.New(synth(base, warmN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.RegisterSeries("ref", series); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := engine.OpenStream(core.StreamConfig{
+		Source: "ref", ViewName: "ref_view", H: warmN, Omega: omega,
+		SigmaRange: &core.SigmaRange{Min: 1e-3, Max: 50, DistanceConstraint: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range synth(base+int64(warmN), streamN) {
+		if _, err := stream.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pv, err := engine.View("ref_view")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rowsJSON(pv.SnapshotRows())
+}
+
+// assertRowsIdentical compares two row sets by their canonical JSON bytes.
+func assertRowsIdentical(t *testing.T, name string, got, want []RowJSON) {
+	t.Helper()
+	gotB, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotB) != string(wantB) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: served %d rows, offline build has %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: first divergence at row %d: served %+v, offline %+v", name, i, got[i], want[i])
+			}
+		}
+		t.Fatalf("%s: serialisations differ", name)
+	}
+}

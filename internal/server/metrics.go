@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (Prometheus
+// convention: cumulative, with an implicit +Inf bucket).
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// routeMetrics accumulates per-route request counts (by status code) and a
+// latency histogram.
+type routeMetrics struct {
+	byCode  map[int]int64
+	buckets []int64 // len(latencyBuckets)+1, last is +Inf
+	sum     float64
+	count   int64
+}
+
+// metrics is the server-wide registry. A single mutex is enough: the
+// critical section is a handful of integer increments, far cheaper than the
+// request handling around it.
+type metrics struct {
+	start  time.Time
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), routes: make(map[string]*routeMetrics)}
+}
+
+func (m *metrics) observe(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm, ok := m.routes[route]
+	if !ok {
+		rm = &routeMetrics{byCode: make(map[int]int64), buckets: make([]int64, len(latencyBuckets)+1)}
+		m.routes[route] = rm
+	}
+	rm.byCode[code]++
+	rm.count++
+	rm.sum += seconds
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	rm.buckets[i]++
+}
+
+// snapshot returns a deep copy of the per-route metrics so rendering can
+// happen without holding the lock: writing the response stalls on slow
+// scrapers, and the lock is on every request's completion path.
+func (m *metrics) snapshot() (routes []string, stats map[string]*routeMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	stats = make(map[string]*routeMetrics, len(m.routes))
+	for name, rm := range m.routes {
+		routes = append(routes, name)
+		cp := &routeMetrics{
+			byCode:  make(map[int]int64, len(rm.byCode)),
+			buckets: append([]int64(nil), rm.buckets...),
+			sum:     rm.sum,
+			count:   rm.count,
+		}
+		for c, n := range rm.byCode {
+			cp.byCode[c] = n
+		}
+		stats[name] = cp
+	}
+	sort.Strings(routes)
+	return routes, stats
+}
+
+// handleMetrics renders the Prometheus text exposition format: request
+// counters and latency histograms per route, sigma-cache effectiveness
+// aggregated across the engine's caches, and stream gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	m := s.metrics
+	routes, stats := m.snapshot()
+
+	fmt.Fprintf(w, "# HELP tspdbd_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "tspdbd_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP tspdbd_requests_total Requests served, by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_requests_total counter\n")
+	for _, route := range routes {
+		rm := stats[route]
+		codes := make([]int, 0, len(rm.byCode))
+		for c := range rm.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "tspdbd_requests_total{route=%q,code=\"%d\"} %d\n", route, c, rm.byCode[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP tspdbd_request_duration_seconds Request latency histogram by route.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_request_duration_seconds histogram\n")
+	for _, route := range routes {
+		rm := stats[route]
+		cum := int64(0)
+		for i, le := range latencyBuckets {
+			cum += rm.buckets[i]
+			fmt.Fprintf(w, "tspdbd_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				route, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += rm.buckets[len(latencyBuckets)]
+		fmt.Fprintf(w, "tspdbd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
+		fmt.Fprintf(w, "tspdbd_request_duration_seconds_sum{route=%q} %g\n", route, rm.sum)
+		fmt.Fprintf(w, "tspdbd_request_duration_seconds_count{route=%q} %d\n", route, rm.count)
+	}
+
+	cache := s.engine.AggregateCacheStats()
+	hitRate := 0.0
+	if total := cache.Hits + cache.Misses; total > 0 {
+		hitRate = float64(cache.Hits) / float64(total)
+	}
+	fmt.Fprintf(w, "# HELP tspdbd_sigma_cache_hits_total Sigma-cache hits across all caches.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_sigma_cache_hits_total counter\n")
+	fmt.Fprintf(w, "tspdbd_sigma_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "# HELP tspdbd_sigma_cache_misses_total Sigma-cache misses across all caches.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_sigma_cache_misses_total counter\n")
+	fmt.Fprintf(w, "tspdbd_sigma_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "# HELP tspdbd_sigma_cache_hit_rate Hit fraction over all sigma-cache lookups.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_sigma_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "tspdbd_sigma_cache_hit_rate %g\n", hitRate)
+	fmt.Fprintf(w, "# HELP tspdbd_sigma_cache_bytes Approximate resident size of cached grids (open streams).\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_sigma_cache_bytes gauge\n")
+	fmt.Fprintf(w, "tspdbd_sigma_cache_bytes %d\n", cache.ApproxBytes)
+
+	streams := s.engine.Streams()
+	fmt.Fprintf(w, "# HELP tspdbd_streams_open Open online streams.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_streams_open gauge\n")
+	fmt.Fprintf(w, "tspdbd_streams_open %d\n", len(streams))
+	fmt.Fprintf(w, "# HELP tspdbd_stream_steps_total Values ingested per stream.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_stream_steps_total counter\n")
+	for _, st := range streams {
+		fmt.Fprintf(w, "tspdbd_stream_steps_total{table=%q,view=%q} %d\n", st.Source, st.ViewName, st.Steps)
+	}
+
+	fmt.Fprintf(w, "# HELP tspdbd_goroutines Current goroutine count.\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_goroutines gauge\n")
+	fmt.Fprintf(w, "tspdbd_goroutines %d\n", runtime.NumGoroutine())
+	return nil
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/probdb"
+)
+
+// Probabilistic query endpoints: thin HTTP bindings over the probdb helpers,
+// answering the paper's consumer queries ("in which room is Alice?") against
+// a materialised view without shipping the rows to the client.
+
+// RangeProbResponse is the GET /views/{view}/rangeprob payload. For a
+// point query (?t=) Prob holds the single probability; for a range query
+// (?from=&to=) Series holds one probability per tuple.
+type RangeProbResponse struct {
+	View   string          `json:"view"`
+	Lo     float64         `json:"lo"`
+	Hi     float64         `json:"hi"`
+	T      *int64          `json:"t,omitempty"`
+	Prob   *float64        `json:"prob,omitempty"`
+	Series []TimeValueJSON `json:"series,omitempty"`
+}
+
+// TimeValueJSON pairs a timestamp with a scalar.
+type TimeValueJSON struct {
+	T     int64   `json:"t"`
+	Value float64 `json:"value"`
+}
+
+func (s *Server) handleRangeProb(w http.ResponseWriter, r *http.Request) error {
+	pv, err := s.engine.View(r.PathValue("view"))
+	if err != nil {
+		return err
+	}
+	lo, okLo, err := floatParam(r, "lo")
+	if err != nil {
+		return err
+	}
+	hi, okHi, err := floatParam(r, "hi")
+	if err != nil {
+		return err
+	}
+	if !okLo || !okHi {
+		return fmt.Errorf("%w: rangeprob requires lo= and hi=", errBadRequest)
+	}
+	resp := RangeProbResponse{View: pv.Name, Lo: lo, Hi: hi}
+	if ts := r.URL.Query().Get("t"); ts != "" {
+		t, err := int64Param(r, "t", 0)
+		if err != nil {
+			return err
+		}
+		p, err := probdb.RangeProb(pv.RowsAt(t), lo, hi)
+		if err != nil {
+			return err
+		}
+		resp.T, resp.Prob = &t, &p
+		return writeJSON(w, http.StatusOK, resp)
+	}
+	from, to, err := timeRangeParams(r)
+	if err != nil {
+		return err
+	}
+	series, err := probdb.ProbSeries(pv, from, to, lo, hi)
+	if err != nil {
+		return err
+	}
+	resp.Series = make([]TimeValueJSON, len(series))
+	for i, pt := range series {
+		resp.Series[i] = TimeValueJSON{T: pt.T, Value: pt.Value}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// TopKResponse is the GET /views/{view}/topk payload: the k most probable
+// Omega ranges of one tuple, descending.
+type TopKResponse struct {
+	View string    `json:"view"`
+	T    int64     `json:"t"`
+	K    int       `json:"k"`
+	Rows []RowJSON `json:"rows"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
+	pv, err := s.engine.View(r.PathValue("view"))
+	if err != nil {
+		return err
+	}
+	if r.URL.Query().Get("t") == "" {
+		return fmt.Errorf("%w: topk requires t=", errBadRequest)
+	}
+	t, err := int64Param(r, "t", 0)
+	if err != nil {
+		return err
+	}
+	k, err := intParam(r, "k", 1)
+	if err != nil {
+		return err
+	}
+	rows, err := probdb.TopK(pv.RowsAt(t), k)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, TopKResponse{View: pv.Name, T: t, K: k, Rows: rowsJSON(rows)})
+}
+
+// BucketJSON is a named value interval (a room in Fig. 1).
+type BucketJSON struct {
+	Name string  `json:"name"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+}
+
+// BucketsRequest is the POST /views/{view}/buckets payload.
+type BucketsRequest struct {
+	T       int64        `json:"t"`
+	Buckets []BucketJSON `json:"buckets"`
+}
+
+// BucketProbJSON is one bucket with its probability.
+type BucketProbJSON struct {
+	Name string  `json:"name"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	Prob float64 `json:"prob"`
+}
+
+// BucketsResponse lists bucket probabilities in descending order.
+type BucketsResponse struct {
+	View    string           `json:"view"`
+	T       int64            `json:"t"`
+	Buckets []BucketProbJSON `json:"buckets"`
+}
+
+func (s *Server) handleBuckets(w http.ResponseWriter, r *http.Request) error {
+	pv, err := s.engine.View(r.PathValue("view"))
+	if err != nil {
+		return err
+	}
+	var req BucketsRequest
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	buckets := make([]probdb.Bucket, len(req.Buckets))
+	for i, b := range req.Buckets {
+		buckets[i] = probdb.Bucket{Name: b.Name, Lo: b.Lo, Hi: b.Hi}
+	}
+	probs, err := probdb.BucketQuery(pv.RowsAt(req.T), buckets)
+	if err != nil {
+		return err
+	}
+	resp := BucketsResponse{View: pv.Name, T: req.T, Buckets: make([]BucketProbJSON, len(probs))}
+	for i, bp := range probs {
+		resp.Buckets[i] = BucketProbJSON{
+			Name: bp.Bucket.Name, Lo: bp.Bucket.Lo, Hi: bp.Bucket.Hi, Prob: bp.Prob,
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/view"
+)
+
+// TestSnapshotWhileServing takes gob snapshots while concurrent appends
+// (raw points and view rows) and reads are in flight, then restores each
+// snapshot and verifies the catalog is a consistent prefix: every table
+// decodes, timestamps are strictly increasing, every value matches the
+// generator, and view rows arrive in whole batches (AppendRows is atomic).
+// Run under -race to also check the locking discipline itself.
+func TestSnapshotWhileServing(t *testing.T) {
+	const (
+		appendN   = 400 // raw points appended during the test
+		batchN    = 4   // view rows per AppendRows batch
+		batches   = 100
+		snapshots = 25
+	)
+	rawVal := func(t int64) float64 { return float64(t) * 0.5 }
+	rowFor := func(i int) view.Row {
+		return view.Row{T: int64(i), Lambda: i % 4, Lo: float64(i), Hi: float64(i + 1), Prob: 0.25}
+	}
+
+	db := NewDB()
+	series, err := timeseries.New([]timeseries.Point{{T: 0, V: rawVal(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRawTable("live", "", "", series); err != nil {
+		t.Fatal(err)
+	}
+	pv := &ProbTable{Name: "pv", Source: "live", Omega: view.Omega{Delta: 1, N: 4}}
+	if err := db.StoreView(pv); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	// Raw appender.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= appendN; i++ {
+			if err := db.AppendRaw("live", timeseries.Point{T: int64(i), V: rawVal(int64(i))}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// View-row appender (the online stream path).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			rows := make([]view.Row, batchN)
+			for j := 0; j < batchN; j++ {
+				rows[j] = rowFor(b*batchN + j)
+			}
+			pv.AppendRows(rows)
+		}
+	}()
+
+	// Readers racing the appends.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := db.ScanRaw("live", 0, 1<<62); err != nil {
+					t.Error(err)
+					return
+				}
+				pv.RowsRange(0, 1<<62)
+				pv.Times()
+				db.List()
+			}
+		}()
+	}
+
+	// Snapshotter: save concurrently, restore, verify the prefix invariants.
+	snaps := make([]*bytes.Buffer, 0, snapshots)
+	for i := 0; i < snapshots; i++ {
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, &buf)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	var finalBuf bytes.Buffer
+	if err := db.Save(&finalBuf); err != nil {
+		t.Fatal(err)
+	}
+	snaps = append(snaps, &finalBuf)
+
+	for i, buf := range snaps {
+		restored := NewDB()
+		if err := restored.Load(buf); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		raw, err := restored.SnapshotSeries("live")
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if raw.Len() < 1 || raw.Len() > appendN+1 {
+			t.Fatalf("snapshot %d: raw length %d outside [1, %d]", i, raw.Len(), appendN+1)
+		}
+		for j := 0; j < raw.Len(); j++ {
+			p, err := raw.At(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.T != int64(j) || p.V != rawVal(int64(j)) {
+				t.Fatalf("snapshot %d: raw[%d] = %+v, want t=%d v=%g", i, j, p, j, rawVal(int64(j)))
+			}
+		}
+		rv, err := restored.View("pv")
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		rows := rv.SnapshotRows()
+		if len(rows)%batchN != 0 {
+			t.Fatalf("snapshot %d: %d view rows is not a whole number of %d-row batches", i, len(rows), batchN)
+		}
+		if len(rows) > batches*batchN {
+			t.Fatalf("snapshot %d: %d view rows exceeds the %d appended", i, len(rows), batches*batchN)
+		}
+		for j, r := range rows {
+			if r != rowFor(j) {
+				t.Fatalf("snapshot %d: row[%d] = %+v, want %+v", i, j, r, rowFor(j))
+			}
+		}
+	}
+
+	// The live catalog (and therefore the final snapshot, taken after the
+	// writers finished) must hold everything that was appended.
+	n, err := db.RawLen("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != appendN+1 {
+		t.Fatalf("final raw length %d, want %d", n, appendN+1)
+	}
+	if got := pv.NumRows(); got != batches*batchN {
+		t.Fatalf("final view rows %d, want %d", got, batches*batchN)
+	}
+}
+
+// TestSaveFileAtomicRoundTrip checks the temp-file + rename snapshot path.
+func TestSaveFileAtomicRoundTrip(t *testing.T) {
+	db := NewDB()
+	series, err := timeseries.New([]timeseries.Point{{T: 1, V: 2}, {T: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRawTable("tbl", "", "", series); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/cat.snapshot"
+	n, err := db.SaveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("snapshot reported %d bytes", n)
+	}
+	restored := NewDB()
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.RawLen("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("restored %d points, want 2", got)
+	}
+}

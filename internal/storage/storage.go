@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -36,16 +38,64 @@ type RawTable struct {
 
 // ProbTable is a materialised probabilistic view: the tuple-level
 // probabilistic database of Definition 2.
+//
+// A view that backs an online stream grows while readers scan it, so every
+// access to Rows after the table is stored in a catalog must go through the
+// accessor methods, which serialise on a per-table lock. Readers always see
+// a consistent prefix of the appended rows; appends never block readers of
+// other tables.
 type ProbTable struct {
 	Name       string
 	Source     string // raw table the view was derived from
 	MetricName string // dynamic density metric used
 	Omega      view.Omega
 	Rows       []view.Row
+
+	mu sync.RWMutex // guards Rows once the table is shared (gob ignores it)
+}
+
+// AppendRows extends the materialised view (online-mode incremental
+// generation). Rows must continue the ascending-timestamp order.
+func (p *ProbTable) AppendRows(rows []view.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.Rows = append(p.Rows, rows...)
+	p.mu.Unlock()
+}
+
+// NumRows returns the current row count.
+func (p *ProbTable) NumRows() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.Rows)
+}
+
+// SnapshotRows returns a copy of all rows, isolated from later appends.
+func (p *ProbTable) SnapshotRows() []view.Row {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]view.Row, len(p.Rows))
+	copy(out, p.Rows)
+	return out
+}
+
+// RowsRange returns a copy of the rows with timestamp in [tLo, tHi].
+func (p *ProbTable) RowsRange(tLo, tHi int64) []view.Row {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	lo := sort.Search(len(p.Rows), func(i int) bool { return p.Rows[i].T >= tLo })
+	hi := sort.Search(len(p.Rows), func(i int) bool { return p.Rows[i].T > tHi })
+	out := make([]view.Row, hi-lo)
+	copy(out, p.Rows[lo:hi])
+	return out
 }
 
 // RowsAt returns the view rows for timestamp t in lambda order.
 func (p *ProbTable) RowsAt(t int64) []view.Row {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	// Rows are stored grouped by tuple; binary-search the first row of t.
 	i := sort.Search(len(p.Rows), func(i int) bool { return p.Rows[i].T >= t })
 	var out []view.Row
@@ -57,6 +107,8 @@ func (p *ProbTable) RowsAt(t int64) []view.Row {
 
 // Times returns the distinct timestamps present in the view, ascending.
 func (p *ProbTable) Times() []int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	var out []int64
 	var last int64
 	for i, r := range p.Rows {
@@ -149,6 +201,67 @@ func (db *DB) AppendRaw(name string, p timeseries.Point) error {
 	return t.Series.Append(p)
 }
 
+// SnapshotSeries returns a full copy of a raw table's series, taken under
+// the catalog lock so it is isolated from concurrent appends. Offline view
+// generation reads from such snapshots, which is what lets ingest proceed
+// while an expensive Omega-view build runs.
+func (db *DB) SnapshotSeries(name string) (*timeseries.Series, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.raw[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return t.Series.Clone(), nil
+}
+
+// ScanRaw returns a copy of the raw points with timestamp in [tLo, tHi],
+// isolated from concurrent appends.
+func (db *DB) ScanRaw(name string, tLo, tHi int64) (*timeseries.Series, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.raw[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return t.Series.TimeRange(tLo, tHi), nil
+}
+
+// RawLen returns the current length of a raw table.
+func (db *DB) RawLen(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.raw[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return t.Series.Len(), nil
+}
+
+// RawTail returns the last h values of a raw table (the stream warm-up
+// window), isolated from concurrent appends.
+func (db *DB) RawTail(name string, h int) ([]float64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.raw[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	n := t.Series.Len()
+	if h < 0 || h > n {
+		return nil, fmt.Errorf("%w: tail of %d values; table %q holds %d", ErrBadSchema, h, name, n)
+	}
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		p, err := t.Series.At(n - h + i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p.V
+	}
+	return out, nil
+}
+
 // StoreView registers (or replaces) a probabilistic view table.
 func (db *DB) StoreView(p *ProbTable) error {
 	if p == nil {
@@ -208,7 +321,7 @@ func (db *DB) List() []TableInfo {
 		out = append(out, TableInfo{Name: name, Kind: "raw", Rows: t.Series.Len()})
 	}
 	for name, p := range db.prob {
-		out = append(out, TableInfo{Name: name, Kind: "view", Rows: len(p.Rows)})
+		out = append(out, TableInfo{Name: name, Kind: "view", Rows: p.NumRows()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -227,28 +340,90 @@ type rawSnapshot struct {
 	Points   []timeseries.Point
 }
 
-// Save serialises the whole catalog with gob.
+// Save serialises the whole catalog with gob. It is safe to call while
+// appends and reads are in flight: raw tables are copied under the catalog
+// lock and view rows under each table's lock, so every serialised table is a
+// consistent prefix of its live counterpart. The gob encoding itself runs on
+// the copies, outside any lock.
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var snap snapshot
+	var err error
 	for _, t := range db.raw {
 		pts := make([]timeseries.Point, 0, t.Series.Len())
 		for i := 0; i < t.Series.Len(); i++ {
-			p, err := t.Series.At(i)
+			var p timeseries.Point
+			p, err = t.Series.At(i)
 			if err != nil {
-				return err
+				break
 			}
 			pts = append(pts, p)
+		}
+		if err != nil {
+			break
 		}
 		snap.Raw = append(snap.Raw, rawSnapshot{
 			Name: t.Name, TimeCol: t.TimeCol, ValueCol: t.ValueCol, Points: pts,
 		})
 	}
-	for _, p := range db.prob {
-		snap.Prob = append(snap.Prob, p)
+	if err == nil {
+		for _, p := range db.prob {
+			snap.Prob = append(snap.Prob, &ProbTable{
+				Name:       p.Name,
+				Source:     p.Source,
+				MetricName: p.MetricName,
+				Omega:      p.Omega,
+				Rows:       p.SnapshotRows(),
+			})
+		}
+	}
+	db.mu.RUnlock()
+	if err != nil {
+		return err
 	}
 	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// SaveFile writes a snapshot atomically: the gob stream goes to a temporary
+// file in the target directory which is renamed over path only after a
+// successful write, so a crash mid-snapshot never corrupts the previous one.
+func (db *DB) SaveFile(path string) (int64, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// LoadFile replaces the catalog contents with the snapshot stored at path.
+func (db *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.Load(f)
 }
 
 // Load replaces the catalog contents with a snapshot produced by Save.

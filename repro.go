@@ -35,6 +35,7 @@ import (
 	"repro/internal/density"
 	"repro/internal/probdb"
 	"repro/internal/quality"
+	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/timeseries"
 	"repro/internal/view"
@@ -73,6 +74,12 @@ type (
 	BucketProb = probdb.BucketProb
 	// QualityResult reports a density-distance evaluation (Section II-B).
 	QualityResult = quality.Result
+	// Server is the HTTP/JSON serving subsystem over one Engine (tspdbd).
+	Server = server.Server
+	// ServerConfig tunes a Server (snapshot path, build/batch limits).
+	ServerConfig = server.Config
+	// ServerClient is a thin typed client for a running tspdbd.
+	ServerClient = server.Client
 )
 
 // NewEngine creates an empty probabilistic-database engine that builds
@@ -82,6 +89,15 @@ func NewEngine() *Engine { return core.NewEngine() }
 // NewEngineWith creates an empty engine with an explicit configuration,
 // e.g. EngineConfig{Parallelism: 1} for strictly sequential view builds.
 func NewEngineWith(cfg EngineConfig) *Engine { return core.NewEngineWith(cfg) }
+
+// NewServer wraps an engine in the HTTP/JSON serving subsystem. Serve it
+// with (*Server).Run for graceful shutdown, or mount it on any http.Server —
+// it implements http.Handler.
+func NewServer(e *Engine, cfg ServerConfig) *Server { return server.New(e, cfg) }
+
+// NewServerClient returns a typed client for a tspdbd base URL, e.g.
+// "http://localhost:8080".
+func NewServerClient(base string) *ServerClient { return server.NewClient(base) }
 
 // NewSeries creates a Series from points with strictly increasing
 // timestamps.
