@@ -67,11 +67,18 @@ func main() {
 }
 
 // formatError renders a statement failure; syntax errors gain a caret line
-// pointing at the offending position of stmt.
+// pointing at the offending position of stmt. In thin-client mode a 409
+// from the server is labelled as a resumable conflict (out-of-order ingest
+// timestamp, duplicate table/stream) so it is not mistaken for a malformed
+// statement.
 func formatError(err error, stmt string) string {
 	var syn *query.SyntaxError
 	if stmt != "" && errors.As(err, &syn) && syn.Pos >= 0 && syn.Pos <= len(stmt) {
 		return fmt.Sprintf("%v\n  %s\n  %s^", err, stmt, strings.Repeat(" ", syn.Pos))
+	}
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) && apiErr.Conflict() {
+		return fmt.Sprintf("conflict with server state (resume past it, e.g. ingest a later timestamp): %v", err)
 	}
 	return err.Error()
 }

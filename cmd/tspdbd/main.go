@@ -13,6 +13,12 @@
 // with -snapshot-on-exit the daemon also persists there on graceful
 // shutdown (SIGINT/SIGTERM).
 //
+// Range aggregates over views (GET /views/{v}/rangeprob?from=&to=, SELECT
+// EXPECTED/PROB/... via POST /query) run as one indexed pass over the
+// view's timestamp group index. Ingest batches whose timestamps do not
+// continue the stream answer 409 (conflict: resume past the last accepted
+// timestamp), never 400.
+//
 // See DESIGN.md for the endpoint table; quick start:
 //
 //	tspdbd -addr :8080 -load raw_values=campus.csv &

@@ -203,67 +203,87 @@ func (p *Processor) Window() []float64 {
 
 // Step processes the next raw value r_t.
 func (p *Processor) Step(rt float64) (*StepResult, error) {
-	inf, err := p.cfg.Metric.Infer(p.window)
+	res, commit, err := p.Prepare(rt)
 	if err != nil {
 		return nil, err
 	}
+	commit()
+	return res, nil
+}
+
+// Prepare computes the full outcome of ingesting r_t — inference, cleaning
+// decision, trend re-adjustment — without mutating any processor state. The
+// returned commit applies the step; discarding it abandons the step with the
+// processor untouched. This is the two-phase form callers use to interleave
+// their own fallible work (e.g. Omega-row generation) between inference and
+// commit so a downstream failure cannot leave the model window advanced past
+// the data that was actually stored.
+func (p *Processor) Prepare(rt float64) (*StepResult, func(), error) {
+	inf, err := p.cfg.Metric.Infer(p.window)
+	if err != nil {
+		return nil, nil, err
+	}
 	res := &StepResult{Index: p.steps, Raw: rt, Inference: inf}
-	p.steps++
 
 	outOfBounds := rt > inf.UB || rt < inf.LB || math.IsNaN(rt) || math.IsInf(rt, 0)
 	if !outOfBounds {
 		// In bounds: admit the raw value, clear any suspicious run.
-		p.run = 0
-		p.recent = p.recent[:0]
 		res.Cleaned = rt
-		p.push(rt)
-		return res, nil
+		return res, func() {
+			p.steps++
+			p.run = 0
+			p.recent = p.recent[:0]
+			p.push(rt)
+		}, nil
 	}
 
 	// Out of bounds: tentatively mark erroneous and substitute r̂_t.
 	res.Erroneous = true
 	res.Cleaned = inf.RHat
-	p.run++
-	p.recent = append(p.recent, rt)
-
-	if p.run <= p.cfg.OCMax {
-		p.push(inf.RHat)
-		return res, nil
+	if p.run+1 <= p.cfg.OCMax {
+		return res, func() {
+			p.steps++
+			p.run++
+			p.recent = append(p.recent, rt)
+			p.push(inf.RHat)
+		}, nil
 	}
 
 	// More than OCMax consecutive marks: the underlying trend has changed
-	// (Section V-A). Re-adopt the recent raw values after scrubbing them
-	// with the SVR filter so genuine errors inside the run are not adopted.
+	// (Section V-A). Re-adopt the recent raw values (including r_t) after
+	// scrubbing them with the SVR filter so genuine errors inside the run
+	// are not adopted. The scrub runs on a copy here; commit writes it into
+	// the window tail.
+	adopted := p.planTrend(rt)
 	res.TrendChange = true
-	adopted := p.adoptTrend()
-	_ = adopted
-	res.Cleaned = p.window[len(p.window)-1]
 	res.Erroneous = false
-	p.run = 0
-	p.recent = p.recent[:0]
-	return res, nil
+	res.Cleaned = adopted[len(adopted)-1]
+	return res, func() {
+		p.steps++
+		// The last len(adopted) window slots currently hold substituted r̂
+		// values from the suspicious period; overwrite them with the
+		// scrubbed raw run.
+		copy(p.window[len(p.window)-len(adopted):], adopted)
+		p.run = 0
+		p.recent = p.recent[:0]
+	}, nil
 }
 
-// adoptTrend replaces the tail of the window with the suspicious run after
-// SVR scrubbing. Returns the number of adopted values.
-func (p *Processor) adoptTrend() int {
-	run := make([]float64, len(p.recent))
-	copy(run, p.recent)
+// planTrend returns the scrubbed suspicious run (p.recent plus rt, SVR
+// filtered, truncated to the window length) without touching any state.
+func (p *Processor) planTrend(rt float64) []float64 {
+	run := make([]float64, 0, len(p.recent)+1)
+	run = append(run, p.recent...)
+	run = append(run, rt)
 	if len(run) >= 3 && p.cfg.SVMax > 0 {
 		if sv, err := SVRFilter(run, p.cfg.SVMax); err == nil {
 			run = sv.Cleaned
 		}
 	}
-	// The last len(run) window slots currently hold substituted r̂ values
-	// from the suspicious period; overwrite them with the scrubbed raw run.
-	n := len(p.window)
-	k := len(run)
-	if k > n {
+	if k, n := len(run), len(p.window); k > n {
 		run = run[k-n:]
-		k = n
 	}
-	copy(p.window[n-k:], run)
-	return k
+	return run
 }
 
 // push appends v to the cleaned window, dropping the oldest value.

@@ -36,6 +36,12 @@ var (
 	// ErrStreamNotFound reports a lookup of a stream that was never opened
 	// (or has been closed).
 	ErrStreamNotFound = errors.New("core: no open stream")
+	// ErrOutOfOrder reports an online Step whose timestamp does not exceed
+	// the stream's last ingested timestamp. It is a conflict with already
+	// accepted state, not a malformed request, so the server maps it to 409
+	// (where ErrBadArg maps to 400) and clients can retry with a later
+	// timestamp instead of fixing the payload.
+	ErrOutOfOrder = errors.New("core: out-of-order timestamp")
 )
 
 // Config tunes an Engine.
@@ -188,11 +194,10 @@ type Stream struct {
 	metric  density.Metric
 	cache   *sigmacache.Cache
 
-	mu      sync.Mutex // serialises Step; guards lastT, started, steps
-	lastT   int64
-	started bool
-	steps   int64
-	closed  bool
+	mu     sync.Mutex // serialises Step; guards lastT, steps
+	lastT  int64      // out-of-order watermark, seeded from the source table
+	steps  int64
+	closed bool
 }
 
 // OpenStream starts the online mode on a registered raw table. The table
@@ -256,6 +261,13 @@ func (e *Engine) OpenStream(cfg StreamConfig) (*Stream, error) {
 	}
 
 	stream := &Stream{engine: e, cfg: cfg, builder: builder, metric: metric, cache: cache}
+	// The stream continues the stored series, so its out-of-order watermark
+	// starts at the table's last timestamp: a stale very first Step is
+	// rejected with ErrOutOfOrder like every later one, never with the raw
+	// append's unsorted error.
+	if stream.lastT, err = e.db.LastRawTime(cfg.Source); err != nil {
+		return nil, err
+	}
 	if cc := cfg.Clean; cc != nil {
 		proc, err := clean.NewProcessor(clean.Config{
 			Metric: metric, H: h, OCMax: cc.OCMax, SVMax: cc.SVMax,
@@ -394,44 +406,69 @@ func (s *Stream) Step(p timeseries.Point) ([]view.Row, error) {
 }
 
 // StepDetailed is Step plus the cleaning outcome.
+//
+// A Step is atomic: either the raw point is stored, the model state advances
+// and the view rows are appended, or an error leaves every piece of state —
+// raw table, model window, materialised view — untouched. The model step is
+// prepared first without committing (both paths expose a Prepare/commit
+// split), then the raw point is appended, and only after that success do the
+// model and the view commit. No state change ever needs compensating, so a
+// concurrent snapshot or offline build can never observe a point that a
+// failed step later retracts, and the view is always a subset of the raw
+// table.
 func (s *Stream) StepDetailed(p timeseries.Point) (*StepResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("%w: stream on %q is closed", ErrBadArg, s.cfg.Source)
 	}
-	if s.started && p.T <= s.lastT {
-		return nil, fmt.Errorf("%w: non-increasing timestamp %d", ErrBadArg, p.T)
+	if p.T <= s.lastT {
+		return nil, fmt.Errorf("%w: t=%d after t=%d", ErrOutOfOrder, p.T, s.lastT)
 	}
-	var out *StepResult
+	out, commit, err := s.prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.engine.db.AppendRaw(s.cfg.Source, p); err != nil {
+		// The stream's own watermark starts at the table's last timestamp,
+		// so an unsorted rejection here means a concurrent direct write
+		// moved the raw table ahead — a conflict, not a malformed request.
+		if errors.Is(err, timeseries.ErrUnsorted) {
+			return nil, fmt.Errorf("%w: %v", ErrOutOfOrder, err)
+		}
+		return nil, err
+	}
+	commit()
+	s.table.AppendRows(out.Rows)
+	s.lastT = p.T
+	s.steps++
+	return out, nil
+}
+
+// prepare feeds one point through the model (C-GARCH processor or plain
+// online builder) and generates its view rows without committing any model
+// state; the returned commit advances the window. Every fallible stage runs
+// before any state changes.
+func (s *Stream) prepare(p timeseries.Point) (*StepResult, func(), error) {
 	if s.proc != nil {
-		st, err := s.proc.Step(p.V)
+		st, commit, err := s.proc.Prepare(p.V)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		inf := st.Inference
 		rows, err := s.builder.GenerateOne(view.Tuple{
 			T: p.T, RHat: inf.RHat, Sigma: inf.Sigma, Dist: inf.Dist,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out = &StepResult{Rows: rows, Cleaned: st.Cleaned, Erroneous: st.Erroneous, TrendChange: st.TrendChange}
-	} else {
-		rows, err := s.online.Step(p.T, p.V)
-		if err != nil {
-			return nil, err
-		}
-		out = &StepResult{Rows: rows, Cleaned: p.V}
+		return &StepResult{Rows: rows, Cleaned: st.Cleaned, Erroneous: st.Erroneous, TrendChange: st.TrendChange}, commit, nil
 	}
-	if err := s.engine.db.AppendRaw(s.cfg.Source, p); err != nil {
-		return nil, err
+	rows, commit, err := s.online.Prepare(p.T, p.V)
+	if err != nil {
+		return nil, nil, err
 	}
-	s.table.AppendRows(out.Rows)
-	s.lastT = p.T
-	s.started = true
-	s.steps++
-	return out, nil
+	return &StepResult{Rows: rows, Cleaned: p.V}, commit, nil
 }
 
 // Steps reports how many values the stream has ingested.

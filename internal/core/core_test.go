@@ -187,8 +187,9 @@ func TestOpenStreamWithCleaning(t *testing.T) {
 	if !sawErroneous {
 		t.Fatal("outlier step never reached")
 	}
-	// Non-increasing timestamps rejected on the cleaned path too.
-	if _, err := stream.Step(timeseries.Point{T: 1, V: 0}); !errors.Is(err, ErrBadArg) {
+	// Non-increasing timestamps rejected on the cleaned path too, with the
+	// distinct conflict sentinel.
+	if _, err := stream.Step(timeseries.Point{T: 1, V: 0}); !errors.Is(err, ErrOutOfOrder) {
 		t.Error("non-increasing timestamp accepted")
 	}
 }

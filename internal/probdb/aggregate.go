@@ -1,10 +1,12 @@
 package probdb
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/storage"
+	"repro/internal/view"
 )
 
 // Aggregate queries over a time range of a tuple-independent probabilistic
@@ -12,6 +14,12 @@ import (
 // tuple-independence assumption of Definition 2), so conjunctions and
 // disjunctions across time multiply in the usual safe-plan fashion
 // (Dalvi & Suciu, reference [3] of the paper).
+//
+// Every aggregate here is a single-pass consumer of the view's timestamp
+// group index (storage.ProbTable.ForEachGroup): one indexed scan over the
+// requested range, each tuple's rows handed over as a zero-copy span. The
+// legacy shape — Times() full scan, then a binary search plus row copy per
+// timestamp — is preserved only in the benchmarks as the baseline.
 
 // TimeSeriesPoint pairs a timestamp with a per-tuple scalar.
 type TimeSeriesPoint struct {
@@ -19,83 +27,105 @@ type TimeSeriesPoint struct {
 	Value float64
 }
 
+// eachTuple runs query on every tuple of the view within [tLo, tHi] in one
+// indexed pass and feeds each scalar to fn; it guards the nil view and
+// reports ErrNoRows when the range holds no tuples. Every range aggregate
+// below is built on it.
+func eachTuple(p *storage.ProbTable, tLo, tHi int64, query func(rows []view.Row) (float64, error), fn func(t int64, v float64) error) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	n := 0
+	err := p.ForEachGroup(tLo, tHi, func(t int64, rows []view.Row) error {
+		v, err := query(rows)
+		if err != nil {
+			return err
+		}
+		n++
+		return fn(t, v)
+	})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return ErrNoRows
+	}
+	return nil
+}
+
+// seriesOver collects query's per-tuple scalar over [tLo, tHi] as a series.
+func seriesOver(p *storage.ProbTable, tLo, tHi int64, query func(rows []view.Row) (float64, error)) ([]TimeSeriesPoint, error) {
+	var out []TimeSeriesPoint
+	err := eachTuple(p, tLo, tHi, query, func(t int64, v float64) error {
+		out = append(out, TimeSeriesPoint{T: t, Value: v})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ExpectedSeries returns the expected true value at every timestamp of the
 // view within [tLo, tHi] — the model-based view abstraction of MauveDB
 // (reference [25]) recovered from the probabilistic database.
 func ExpectedSeries(p *storage.ProbTable, tLo, tHi int64) ([]TimeSeriesPoint, error) {
-	if p == nil {
-		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
-	}
-	var out []TimeSeriesPoint
-	for _, t := range p.Times() {
-		if t < tLo || t > tHi {
-			continue
-		}
-		e, err := Expected(p.RowsAt(t))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, TimeSeriesPoint{T: t, Value: e})
-	}
-	if len(out) == 0 {
-		return nil, ErrNoRows
-	}
-	return out, nil
+	return seriesOver(p, tLo, tHi, Expected)
 }
 
 // ProbSeries returns P(lo < R_t <= hi) at every timestamp of the view within
 // [tLo, tHi].
 func ProbSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]TimeSeriesPoint, error) {
-	if p == nil {
-		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
-	}
-	var out []TimeSeriesPoint
-	for _, t := range p.Times() {
-		if t < tLo || t > tHi {
-			continue
-		}
-		pr, err := RangeProb(p.RowsAt(t), lo, hi)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, TimeSeriesPoint{T: t, Value: pr})
-	}
-	if len(out) == 0 {
-		return nil, ErrNoRows
-	}
-	return out, nil
+	return seriesOver(p, tLo, tHi, func(rows []view.Row) (float64, error) {
+		return RangeProb(rows, lo, hi)
+	})
+}
+
+// eachProb runs fn over the per-tuple probability P(lo < R_t <= hi) for every
+// timestamp in [tLo, tHi] in one indexed pass, without materialising the
+// series.
+func eachProb(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, fn func(q float64) error) error {
+	return eachTuple(p, tLo, tHi,
+		func(rows []view.Row) (float64, error) { return RangeProb(rows, lo, hi) },
+		func(_ int64, q float64) error { return fn(q) })
 }
 
 // ExpectedCount returns the expected number of timestamps in [tLo, tHi]
 // whose true value lies in (lo, hi]: the sum of per-tuple probabilities
 // (linearity of expectation, no independence needed).
 func ExpectedCount(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
-	series, err := ProbSeries(p, tLo, tHi, lo, hi)
-	if err != nil {
-		return 0, err
-	}
 	sum := 0.0
-	for _, pt := range series {
-		sum += pt.Value
+	if err := eachProb(p, tLo, tHi, lo, hi, func(q float64) error {
+		sum += q
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 	return sum, nil
 }
 
+// errStopScan is the sentinel an aggregate callback returns once its result
+// is decided, ending the indexed pass early without surfacing an error.
+var errStopScan = errors.New("probdb: stop scan")
+
 // AnyInRange returns P(at least one R_t in (lo, hi]) over [tLo, tHi] under
 // tuple independence: 1 - prod(1 - p_t).
 func AnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
-	series, err := ProbSeries(p, tLo, tHi, lo, hi)
+	// Work in log space to stay accurate when many tuples are involved.
+	logNone, certain := 0.0, false
+	err := eachProb(p, tLo, tHi, lo, hi, func(q float64) error {
+		if 1-q <= 0 {
+			certain = true
+			return errStopScan // a certain tuple decides the disjunction
+		}
+		logNone += math.Log(1 - q)
+		return nil
+	})
+	if certain {
+		return 1, nil
+	}
 	if err != nil {
 		return 0, err
-	}
-	// Work in log space to stay accurate when many tuples are involved.
-	logNone := 0.0
-	for _, pt := range series {
-		q := 1 - pt.Value
-		if q <= 0 {
-			return 1, nil
-		}
-		logNone += math.Log(q)
 	}
 	return 1 - math.Exp(logNone), nil
 }
@@ -103,16 +133,20 @@ func AnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, 
 // AllInRange returns P(every R_t in (lo, hi]) over [tLo, tHi] under tuple
 // independence: prod(p_t).
 func AllInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
-	series, err := ProbSeries(p, tLo, tHi, lo, hi)
+	logAll, impossible := 0.0, false
+	err := eachProb(p, tLo, tHi, lo, hi, func(q float64) error {
+		if q <= 0 {
+			impossible = true
+			return errStopScan // an impossible tuple decides the conjunction
+		}
+		logAll += math.Log(q)
+		return nil
+	})
+	if impossible {
+		return 0, nil
+	}
 	if err != nil {
 		return 0, err
-	}
-	logAll := 0.0
-	for _, pt := range series {
-		if pt.Value <= 0 {
-			return 0, nil
-		}
-		logAll += math.Log(pt.Value)
 	}
 	return math.Exp(logAll), nil
 }
@@ -159,4 +193,76 @@ func CountAtLeast(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, k int) (
 		sum = 1 // rounding guard
 	}
 	return sum, nil
+}
+
+// Point-query helpers: the single-timestamp consumers (range probability,
+// top-k, buckets) bound to a view table. Each resolves the timestamp through
+// the group index and evaluates on the zero-copy row span, so the hot server
+// endpoints never copy a tuple's rows just to read them.
+
+// atGroup runs fn on the row span of timestamp t, returning ErrNoRows when
+// the view has no tuple at t.
+func atGroup(p *storage.ProbTable, t int64, fn func(rows []view.Row) error) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	found := false
+	err := p.ForEachGroup(t, t, func(_ int64, rows []view.Row) error {
+		found = true
+		return fn(rows)
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNoRows
+	}
+	return nil
+}
+
+// RangeProbAt returns P(lo < R_t <= hi) for the tuple at timestamp t.
+func RangeProbAt(p *storage.ProbTable, t int64, lo, hi float64) (float64, error) {
+	var out float64
+	err := atGroup(p, t, func(rows []view.Row) error {
+		pr, err := RangeProb(rows, lo, hi)
+		out = pr
+		return err
+	})
+	return out, err
+}
+
+// ExpectedAt returns the expected true value of the tuple at timestamp t.
+func ExpectedAt(p *storage.ProbTable, t int64) (float64, error) {
+	var out float64
+	err := atGroup(p, t, func(rows []view.Row) error {
+		e, err := Expected(rows)
+		out = e
+		return err
+	})
+	return out, err
+}
+
+// TopKAt returns the k most probable Omega ranges of the tuple at timestamp
+// t, descending. The returned rows are copies (TopK sorts a scratch slice),
+// safe to retain.
+func TopKAt(p *storage.ProbTable, t int64, k int) ([]view.Row, error) {
+	var out []view.Row
+	err := atGroup(p, t, func(rows []view.Row) error {
+		top, err := TopK(rows, k)
+		out = top
+		return err
+	})
+	return out, err
+}
+
+// BucketQueryAt runs the bucketed query (Fig. 1 rooms) on the tuple at
+// timestamp t.
+func BucketQueryAt(p *storage.ProbTable, t int64, buckets []Bucket) ([]BucketProb, error) {
+	var out []BucketProb
+	err := atGroup(p, t, func(rows []view.Row) error {
+		ps, err := BucketQuery(rows, buckets)
+		out = ps
+		return err
+	})
+	return out, err
 }

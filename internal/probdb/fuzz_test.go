@@ -1,0 +1,121 @@
+package probdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/view"
+)
+
+// Fuzz coverage for the probdb entry points over degenerate view rows:
+// zero-width point masses, zero probabilities, inverted ranges. The
+// invariant under fuzzing is totality — for any row soup inside the
+// builder's output domain the queries either return a finite value or a
+// wrapped package sentinel; they never return NaN/Inf and never panic.
+// `go test` runs the seed corpus as regular unit tests.
+
+// fuzzRows decodes up to four rows from the raw fuzz scalars; width and
+// probability are reinterpreted so degenerate shapes (w == 0, p == 0,
+// descending Lo) appear often.
+func fuzzRows(n uint8, lo1, w1, p1, lo2, w2, p2 float64) []view.Row {
+	raw := [][3]float64{{lo1, w1, p1}, {lo2, w2, p2}, {lo2, 0, p1}, {lo1, -w2, p2}}
+	rows := make([]view.Row, 0, 4)
+	for i := 0; i < int(n%5); i++ {
+		r := raw[i%len(raw)]
+		rows = append(rows, view.Row{
+			T: 1, Lambda: i - 2, Lo: r[0], Hi: r[0] + r[1], Prob: r[2],
+		})
+	}
+	return rows
+}
+
+// skipOutsideDomain skips row soups outside the builder's output domain:
+// the totality contract covers finite rows of sane magnitude (bounds within
+// ±1e150, masses in [0, 1e6] — wide enough that un-normalised inputs stay in
+// scope, narrow enough that honest float overflow to Inf cannot occur).
+// Degenerate shapes — zero-width, zero-probability, inverted ranges — stay
+// in scope; they are the point of the fuzzing.
+func skipOutsideDomain(t *testing.T, rows []view.Row) {
+	t.Helper()
+	for _, r := range rows {
+		// !(x <= y) form also rejects NaN.
+		if !(math.Abs(r.Lo) <= 1e150) || !(math.Abs(r.Hi) <= 1e150) ||
+			!(r.Prob >= 0 && r.Prob <= 1e6) {
+			t.Skip()
+		}
+	}
+}
+
+func finiteOrErr(t *testing.T, name string, v float64, err error) {
+	t.Helper()
+	if err != nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("%s returned non-finite %v without error", name, v)
+	}
+}
+
+func FuzzRangeProb(f *testing.F) {
+	f.Add(uint8(2), 0.0, 1.0, 0.5, 1.0, 1.0, 0.5, -1.0, 2.0)
+	f.Add(uint8(3), 2.0, 0.0, 0.4, 2.0, 1.0, 0.6, 0.0, 5.0)  // zero-width point mass
+	f.Add(uint8(4), 5.0, -1.0, 0.3, 1.0, 0.0, 0.0, 1.5, 1.5) // inverted + zero-prob
+	f.Add(uint8(1), 0.0, 1e9, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, n uint8, lo1, w1, p1, lo2, w2, p2, qlo, qhi float64) {
+		rows := fuzzRows(n, lo1, w1, p1, lo2, w2, p2)
+		skipOutsideDomain(t, rows)
+		v, err := RangeProb(rows, qlo, qhi)
+		finiteOrErr(t, "RangeProb", v, err)
+		if err == nil && v < 0 {
+			t.Fatalf("RangeProb = %v < 0 for non-negative masses", v)
+		}
+	})
+}
+
+func FuzzQuantile(f *testing.F) {
+	f.Add(uint8(3), 0.0, 1.0, 0.25, 1.0, 0.0, 0.5, 0.5)
+	f.Add(uint8(2), 2.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.99)
+	f.Add(uint8(4), 1.0, -2.0, 0.1, 3.0, 4.0, 0.0, 0.01)
+	f.Fuzz(func(t *testing.T, n uint8, lo1, w1, p1, lo2, w2, p2, q float64) {
+		rows := fuzzRows(n, lo1, w1, p1, lo2, w2, p2)
+		skipOutsideDomain(t, rows)
+		v, err := Quantile(rows, q)
+		finiteOrErr(t, "Quantile", v, err)
+		lo, hi, err := CredibleInterval(rows, q)
+		if err == nil && (math.IsNaN(lo) || math.IsNaN(hi)) {
+			t.Fatalf("CredibleInterval returned NaN: [%v, %v]", lo, hi)
+		}
+	})
+}
+
+func FuzzExpected(f *testing.F) {
+	f.Add(uint8(2), 0.0, 1.0, 0.5, 1.0, 1.0, 0.5)
+	f.Add(uint8(1), 3.0, 0.0, 0.7, 0.0, 0.0, 0.0) // lone point mass
+	f.Fuzz(func(t *testing.T, n uint8, lo1, w1, p1, lo2, w2, p2 float64) {
+		rows := fuzzRows(n, lo1, w1, p1, lo2, w2, p2)
+		skipOutsideDomain(t, rows)
+		v, err := Expected(rows)
+		finiteOrErr(t, "Expected", v, err)
+	})
+}
+
+func FuzzTopKAndThreshold(f *testing.F) {
+	f.Add(uint8(4), 0.0, 1.0, 0.5, 1.0, 0.0, 0.25, uint8(2))
+	f.Fuzz(func(t *testing.T, n uint8, lo1, w1, p1, lo2, w2, p2 float64, k uint8) {
+		rows := fuzzRows(n, lo1, w1, p1, lo2, w2, p2)
+		skipOutsideDomain(t, rows)
+		if top, err := TopK(rows, int(k%6)); err == nil {
+			for i := 1; i < len(top); i++ {
+				if top[i].Prob > top[i-1].Prob {
+					t.Fatalf("TopK not descending at %d", i)
+				}
+			}
+		}
+		p := math.Abs(p1)
+		if p <= 1 && !math.IsNaN(p) {
+			if _, err := Threshold(rows, p); err != nil && len(rows) > 0 {
+				t.Fatalf("Threshold(%v) on %d rows: %v", p, len(rows), err)
+			}
+		}
+	})
+}

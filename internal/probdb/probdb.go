@@ -28,6 +28,11 @@ var (
 // summed probability of every Omega range, counting partial overlaps
 // proportionally (the within-range distribution is treated as uniform, the
 // standard refinement for bucketed probabilities).
+//
+// A degenerate zero-width row (Lo == Hi) is a point mass: its full
+// probability counts iff lo < Lo <= hi. Dividing through the zero width
+// would instead yield NaN (or silently drop the mass), which then propagates
+// into every aggregate and server response built on this function.
 func RangeProb(rows []view.Row, lo, hi float64) (float64, error) {
 	if len(rows) == 0 {
 		return 0, ErrNoRows
@@ -37,6 +42,12 @@ func RangeProb(rows []view.Row, lo, hi float64) (float64, error) {
 	}
 	total := 0.0
 	for _, r := range rows {
+		if r.Hi == r.Lo {
+			if lo < r.Lo && r.Lo <= hi {
+				total += r.Prob
+			}
+			continue
+		}
 		overlapLo := math.Max(lo, r.Lo)
 		overlapHi := math.Min(hi, r.Hi)
 		if overlapHi <= overlapLo {
@@ -91,7 +102,8 @@ func TopK(rows []view.Row, k int) ([]view.Row, error) {
 
 // Expected returns the expected value of the bucketed distribution (range
 // midpoints weighted by probability, normalised by total mass so truncation
-// of the Gaussian tails does not bias the estimate).
+// of the Gaussian tails does not bias the estimate). Zero-width rows need no
+// special casing here: the midpoint of a point mass is the point itself.
 func Expected(rows []view.Row) (float64, error) {
 	if len(rows) == 0 {
 		return 0, ErrNoRows
@@ -182,7 +194,9 @@ func Quantile(rows []view.Row, q float64) (float64, error) {
 	run := 0.0
 	for _, r := range rows {
 		if run+r.Prob >= target {
-			if r.Prob == 0 {
+			// Zero-probability and zero-width (point mass) buckets admit no
+			// interpolation: the quantile is the bucket's location itself.
+			if r.Prob == 0 || r.Hi == r.Lo {
 				return r.Lo, nil
 			}
 			frac := (target - run) / r.Prob

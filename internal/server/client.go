@@ -37,6 +37,12 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
 }
 
+// Conflict reports whether the server rejected the request with 409: an
+// out-of-order ingest timestamp (core.ErrOutOfOrder) or a duplicate
+// table/stream. Conflicts are resumable — retry past the accepted state —
+// unlike 400s, which require fixing the request itself.
+func (e *APIError) Conflict() bool { return e.Status == http.StatusConflict }
+
 // do sends a request with a JSON body (nil for none) and decodes the JSON
 // response into out (nil to discard).
 func (c *Client) do(method, path string, body, out any) error {

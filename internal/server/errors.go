@@ -42,7 +42,11 @@ func StatusFor(err error) int {
 		errors.Is(err, view.ErrNoTuples):
 		return http.StatusNotFound
 	case errors.Is(err, storage.ErrExists),
-		errors.Is(err, core.ErrStreamExists):
+		errors.Is(err, core.ErrStreamExists),
+		// Out-of-order ingest conflicts with already accepted points; 409
+		// (not 400) tells the client to resume past the stream's last
+		// timestamp rather than fix the payload.
+		errors.Is(err, core.ErrOutOfOrder):
 		return http.StatusConflict
 	case errors.Is(err, errBadRequest),
 		errors.Is(err, core.ErrBadArg),

@@ -51,7 +51,7 @@ func (s *Server) handleRangeProb(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return err
 		}
-		p, err := probdb.RangeProb(pv.RowsAt(t), lo, hi)
+		p, err := probdb.RangeProbAt(pv, t, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -98,7 +98,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	rows, err := probdb.TopK(pv.RowsAt(t), k)
+	rows, err := probdb.TopKAt(pv, t, k)
 	if err != nil {
 		return err
 	}
@@ -146,7 +146,7 @@ func (s *Server) handleBuckets(w http.ResponseWriter, r *http.Request) error {
 	for i, b := range req.Buckets {
 		buckets[i] = probdb.Bucket{Name: b.Name, Lo: b.Lo, Hi: b.Hi}
 	}
-	probs, err := probdb.BucketQuery(pv.RowsAt(req.T), buckets)
+	probs, err := probdb.BucketQueryAt(pv, req.T, buckets)
 	if err != nil {
 		return err
 	}

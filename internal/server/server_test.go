@@ -156,9 +156,9 @@ func TestStreamLifecycleOverHTTP(t *testing.T) {
 		t.Fatalf("ingest: %d points, %d rows", resp.Ingested, len(resp.Rows))
 	}
 
-	// Stale timestamp rejects with 400.
-	if _, err := client.Ingest("campus", synthJSON(5, 1)); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
-		t.Fatalf("stale ingest: got %v, want 400", err)
+	// Stale timestamp conflicts with already accepted points: 409, not 400.
+	if _, err := client.Ingest("campus", synthJSON(5, 1)); !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict || !apiErr.Conflict() {
+		t.Fatalf("stale ingest: got %v, want 409", err)
 	}
 
 	// Ingest without a stream is 404.
@@ -192,6 +192,7 @@ func TestErrorStatusMapping(t *testing.T) {
 		{fmt.Errorf("wrap: %w", view.ErrNoTuples), 404},
 		{fmt.Errorf("wrap: %w", storage.ErrExists), 409},
 		{fmt.Errorf("wrap: %w", core.ErrStreamExists), 409},
+		{fmt.Errorf("wrap: %w", core.ErrOutOfOrder), 409},
 		{fmt.Errorf("wrap: %w", core.ErrBadArg), 400},
 		{fmt.Errorf("wrap: %w", storage.ErrBadName), 400},
 		{fmt.Errorf("wrap: %w", storage.ErrBadSchema), 400},

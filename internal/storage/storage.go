@@ -44,6 +44,16 @@ type RawTable struct {
 // accessor methods, which serialise on a per-table lock. Readers always see
 // a consistent prefix of the appended rows; appends never block readers of
 // other tables.
+//
+// Physical layout: Rows is one flat slice in ascending-timestamp order, with
+// all rows of a timestamp (one per Omega range, in lambda order) stored
+// contiguously. Alongside it the table maintains a timestamp group index —
+// one TimeGroup{T, Off, Len} per distinct timestamp — kept current
+// incrementally by AppendRows and built lazily for tables whose Rows were
+// assigned directly (offline builds, gob decode, tests). Point and range
+// accessors binary-search the index (O(log T) in the number of tuples, not
+// rows) and the ForEachGroup iterator walks it in one pass, handing out
+// zero-copy row spans.
 type ProbTable struct {
 	Name       string
 	Source     string // raw table the view was derived from
@@ -51,7 +61,71 @@ type ProbTable struct {
 	Omega      view.Omega
 	Rows       []view.Row
 
-	mu sync.RWMutex // guards Rows once the table is shared (gob ignores it)
+	mu sync.RWMutex // guards Rows + index once the table is shared (gob ignores it)
+
+	// groups is the timestamp group index over Rows[:indexed]; indexed lags
+	// len(Rows) only when Rows was assigned directly, and the first accessor
+	// to notice catches the index up under the write lock. head remembers
+	// the indexed backing array's first element so a wholesale replacement
+	// of Rows (not just growth) is detected and triggers a rebuild instead
+	// of silently serving stale offsets.
+	groups  []TimeGroup
+	indexed int
+	head    *view.Row
+}
+
+// TimeGroup locates the rows of one timestamp inside the flat row slice:
+// Rows[Off : Off+Len] are exactly the rows with timestamp T, in lambda order.
+type TimeGroup struct {
+	T        int64
+	Off, Len int
+}
+
+// indexStale reports whether the group index lags Rows: rows were appended,
+// or Rows was shrunk or replaced wholesale (different backing array).
+// Caller holds the lock (read or write).
+func (p *ProbTable) indexStale() bool {
+	return p.indexed != len(p.Rows) || (p.indexed > 0 && p.head != &p.Rows[0])
+}
+
+// extendIndex catches the group index up with Rows. Caller holds the write
+// lock. Appends are incremental: only rows past the indexed watermark are
+// visited, so maintaining the index during online ingest is O(batch); a
+// shrink, a backing-array change (growth realloc or wholesale replacement)
+// triggers a full rebuild — the same linear cost the reallocation itself
+// just paid.
+func (p *ProbTable) extendIndex() {
+	if p.indexed > len(p.Rows) || (p.indexed > 0 && p.head != &p.Rows[0]) {
+		p.groups, p.indexed = nil, 0
+	}
+	for i := p.indexed; i < len(p.Rows); i++ {
+		t := p.Rows[i].T
+		if n := len(p.groups); n > 0 && p.groups[n-1].T == t {
+			p.groups[n-1].Len++
+		} else {
+			p.groups = append(p.groups, TimeGroup{T: t, Off: i, Len: 1})
+		}
+	}
+	p.indexed = len(p.Rows)
+	if len(p.Rows) > 0 {
+		p.head = &p.Rows[0]
+	} else {
+		p.head = nil
+	}
+}
+
+// rlockIndexed takes the read lock with the group index guaranteed current,
+// upgrading to the write lock first when Rows was assigned directly (e.g. by
+// an offline build or a snapshot load). Callers must release with mu.RUnlock.
+func (p *ProbTable) rlockIndexed() {
+	p.mu.RLock()
+	for p.indexStale() {
+		p.mu.RUnlock()
+		p.mu.Lock()
+		p.extendIndex()
+		p.mu.Unlock()
+		p.mu.RLock()
+	}
 }
 
 // AppendRows extends the materialised view (online-mode incremental
@@ -61,7 +135,14 @@ func (p *ProbTable) AppendRows(rows []view.Row) {
 		return
 	}
 	p.mu.Lock()
+	p.extendIndex() // in case Rows was assigned directly since the last append
 	p.Rows = append(p.Rows, rows...)
+	// The append preserves the indexed prefix even when it reallocates the
+	// backing array, so refresh the identity watermark before extending:
+	// otherwise the realloc would look like a wholesale Rows replacement and
+	// trigger a full rebuild under the write lock.
+	p.head = &p.Rows[0]
+	p.extendIndex()
 	p.mu.Unlock()
 }
 
@@ -70,6 +151,13 @@ func (p *ProbTable) NumRows() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return len(p.Rows)
+}
+
+// NumTimes returns the current count of distinct timestamps (tuples).
+func (p *ProbTable) NumTimes() int {
+	p.rlockIndexed()
+	defer p.mu.RUnlock()
+	return len(p.groups)
 }
 
 // SnapshotRows returns a copy of all rows, isolated from later appends.
@@ -81,43 +169,90 @@ func (p *ProbTable) SnapshotRows() []view.Row {
 	return out
 }
 
+// groupSpan returns the index positions [lo, hi) of the groups with
+// timestamp in [tLo, tHi]; an inverted range (tLo > tHi) yields an empty
+// span, never hi < lo — callers slice groups[lo:hi] directly. Caller holds
+// the lock (read or write).
+func (p *ProbTable) groupSpan(tLo, tHi int64) (lo, hi int) {
+	lo = sort.Search(len(p.groups), func(i int) bool { return p.groups[i].T >= tLo })
+	hi = sort.Search(len(p.groups), func(i int) bool { return p.groups[i].T > tHi })
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
 // RowsRange returns a copy of the rows with timestamp in [tLo, tHi].
 func (p *ProbTable) RowsRange(tLo, tHi int64) []view.Row {
-	p.mu.RLock()
+	p.rlockIndexed()
 	defer p.mu.RUnlock()
-	lo := sort.Search(len(p.Rows), func(i int) bool { return p.Rows[i].T >= tLo })
-	hi := sort.Search(len(p.Rows), func(i int) bool { return p.Rows[i].T > tHi })
-	out := make([]view.Row, hi-lo)
-	copy(out, p.Rows[lo:hi])
+	lo, hi := p.groupSpan(tLo, tHi)
+	if lo >= hi {
+		return []view.Row{}
+	}
+	first, last := p.groups[lo], p.groups[hi-1]
+	out := make([]view.Row, last.Off+last.Len-first.Off)
+	copy(out, p.Rows[first.Off:last.Off+last.Len])
 	return out
 }
 
 // RowsAt returns the view rows for timestamp t in lambda order.
 func (p *ProbTable) RowsAt(t int64) []view.Row {
-	p.mu.RLock()
+	p.rlockIndexed()
 	defer p.mu.RUnlock()
-	// Rows are stored grouped by tuple; binary-search the first row of t.
-	i := sort.Search(len(p.Rows), func(i int) bool { return p.Rows[i].T >= t })
-	var out []view.Row
-	for ; i < len(p.Rows) && p.Rows[i].T == t; i++ {
-		out = append(out, p.Rows[i])
+	lo, hi := p.groupSpan(t, t)
+	if lo >= hi {
+		return nil
 	}
+	g := p.groups[lo]
+	out := make([]view.Row, g.Len)
+	copy(out, p.Rows[g.Off:g.Off+g.Len])
 	return out
 }
 
 // Times returns the distinct timestamps present in the view, ascending.
 func (p *ProbTable) Times() []int64 {
-	p.mu.RLock()
+	p.rlockIndexed()
 	defer p.mu.RUnlock()
-	var out []int64
-	var last int64
-	for i, r := range p.Rows {
-		if i == 0 || r.T != last {
-			out = append(out, r.T)
-			last = r.T
-		}
+	if len(p.groups) == 0 {
+		return nil
+	}
+	out := make([]int64, len(p.groups))
+	for i, g := range p.groups {
+		out[i] = g.T
 	}
 	return out
+}
+
+// GroupsRange returns a copy of the group index entries with timestamp in
+// [tLo, tHi]: the physical layout of the requested range, without the rows.
+func (p *ProbTable) GroupsRange(tLo, tHi int64) []TimeGroup {
+	p.rlockIndexed()
+	defer p.mu.RUnlock()
+	lo, hi := p.groupSpan(tLo, tHi)
+	out := make([]TimeGroup, hi-lo)
+	copy(out, p.groups[lo:hi])
+	return out
+}
+
+// ForEachGroup calls fn once per distinct timestamp in [tLo, tHi], ascending,
+// passing the timestamp's rows as a zero-copy span of the table's backing
+// array. The whole range is visited in one indexed pass under a single read
+// lock: no per-timestamp search, no row copies.
+//
+// The span is valid only for the duration of the call — fn must not retain or
+// mutate it, and must not call back into the table (the lock is held). A
+// non-nil error from fn stops the iteration and is returned.
+func (p *ProbTable) ForEachGroup(tLo, tHi int64, fn func(t int64, rows []view.Row) error) error {
+	p.rlockIndexed()
+	defer p.mu.RUnlock()
+	lo, hi := p.groupSpan(tLo, tHi)
+	for _, g := range p.groups[lo:hi] {
+		if err := fn(g.T, p.Rows[g.Off:g.Off+g.Len:g.Off+g.Len]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DB is the catalog.
@@ -199,6 +334,27 @@ func (db *DB) AppendRaw(name string, p timeseries.Point) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return t.Series.Append(p)
+}
+
+// LastRawTime returns the timestamp of a raw table's most recent point —
+// the watermark an online stream seeds its out-of-order check from, so a
+// stale ingest is rejected before any state changes.
+func (db *DB) LastRawTime(name string) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.raw[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	n := t.Series.Len()
+	if n == 0 {
+		return 0, fmt.Errorf("%w: table %q", timeseries.ErrEmpty, name)
+	}
+	p, err := t.Series.At(n - 1)
+	if err != nil {
+		return 0, err
+	}
+	return p.T, nil
 }
 
 // SnapshotSeries returns a full copy of a raw table's series, taken under

@@ -419,20 +419,37 @@ func NewOnlineBuilder(metric density.Metric, h int, b *Builder, warmup []float64
 // Step ingests the raw value at time t and returns the view rows generated
 // for it. Timestamps must be strictly increasing.
 func (ob *OnlineBuilder) Step(t int64, rt float64) ([]Row, error) {
+	rows, commit, err := ob.Prepare(t, rt)
+	if err != nil {
+		return nil, err
+	}
+	commit()
+	return rows, nil
+}
+
+// Prepare computes the view rows for the raw value at time t without
+// mutating the builder: inference and row generation run on the current
+// window, and the returned commit pushes the value and advances the
+// timestamp watermark. Discarding commit abandons the step. Callers that
+// must coordinate the step with other fallible state changes (e.g. storing
+// the raw value) prepare first and commit only once everything else has
+// succeeded.
+func (ob *OnlineBuilder) Prepare(t int64, rt float64) ([]Row, func(), error) {
 	if ob.started && t <= ob.lastT {
-		return nil, fmt.Errorf("%w: non-increasing timestamp %d", ErrBadArg, t)
+		return nil, nil, fmt.Errorf("%w: non-increasing timestamp %d", ErrBadArg, t)
 	}
 	inf, err := ob.metric.Infer(ob.window)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rows, err := ob.builder.GenerateOne(Tuple{T: t, RHat: inf.RHat, Sigma: inf.Sigma, Dist: inf.Dist})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	copy(ob.window, ob.window[1:])
-	ob.window[ob.h-1] = rt
-	ob.lastT = t
-	ob.started = true
-	return rows, nil
+	return rows, func() {
+		copy(ob.window, ob.window[1:])
+		ob.window[ob.h-1] = rt
+		ob.lastT = t
+		ob.started = true
+	}, nil
 }
