@@ -4,14 +4,27 @@
 //
 // Usage:
 //
-//	tspdbd [-addr :8080] [-load table=path.csv]... [-restore snap] \
+//	tspdbd [-addr :8080] [-data-dir dir] [-fsync=true] \
+//	       [-load table=path.csv]... [-restore snap] \
 //	       [-snapshot snap] [-snapshot-on-exit] [-parallel N] \
 //	       [-max-builds N] [-max-batch N]
 //
+// -data-dir makes the daemon durable: the catalog is recovered from the
+// directory on start (write-ahead log replay over checkpointed segment
+// files) and every acknowledged mutation — table creation, ingest step,
+// view materialisation — is logged before the response is sent, so a
+// crash (even SIGKILL) loses nothing that was acknowledged. -fsync
+// (default true) additionally syncs the log on every commit, extending
+// the guarantee from process death to power loss. POST /checkpoint
+// flushes the log into segments on demand; a byte-threshold background
+// checkpointer does the same automatically.
+//
 // -restore loads a gob snapshot (written by POST /snapshot, GET /snapshot or
-// tspdb) before serving. -snapshot names the path POST /snapshot writes to;
-// with -snapshot-on-exit the daemon also persists there on graceful
-// shutdown (SIGINT/SIGTERM).
+// tspdb) before serving; combined with -data-dir the loaded catalog is
+// immediately checkpointed, making the import durable. -snapshot names the
+// path POST /snapshot writes to; with -snapshot-on-exit the daemon also
+// persists there on graceful shutdown (SIGINT/SIGTERM). The gob snapshot
+// surface is kept alongside -data-dir as a portable export/import format.
 //
 // Range aggregates over views (GET /views/{v}/rangeprob?from=&to=, SELECT
 // EXPECTED/PROB/... via POST /query) run as one indexed pass over the
@@ -53,6 +66,8 @@ func main() {
 	var loads loadFlags
 	flag.Var(&loads, "load", "table=csvfile pair; repeatable")
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + segments); empty = in-memory")
+	fsync := flag.Bool("fsync", true, "sync the WAL on every commit (with -data-dir)")
 	restore := flag.String("restore", "", "load a catalog snapshot before serving")
 	snapshot := flag.String("snapshot", "", "path POST /snapshot persists the catalog to")
 	snapOnExit := flag.Bool("snapshot-on-exit", false, "write a snapshot on graceful shutdown (requires -snapshot)")
@@ -62,22 +77,38 @@ func main() {
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
 	flag.Parse()
 
-	if err := run(loads, *addr, *restore, *snapshot, *snapOnExit, *parallel, *maxBuilds, *maxBatch, *grace); err != nil {
+	cfg := repro.EngineConfig{Parallelism: *parallel, DataDir: *dataDir, Fsync: *fsync}
+	if err := run(loads, *addr, cfg, *restore, *snapshot, *snapOnExit, *maxBuilds, *maxBatch, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "tspdbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(loads loadFlags, addr, restore, snapshot string, snapOnExit bool, parallel, maxBuilds, maxBatch int, grace time.Duration) error {
+func run(loads loadFlags, addr string, cfg repro.EngineConfig, restore, snapshot string, snapOnExit bool, maxBuilds, maxBatch int, grace time.Duration) error {
 	if snapOnExit && snapshot == "" {
 		return fmt.Errorf("-snapshot-on-exit requires -snapshot")
 	}
-	engine := repro.NewEngineWith(repro.EngineConfig{Parallelism: parallel})
+	engine, err := repro.OpenEngine(cfg)
+	if err != nil {
+		return fmt.Errorf("open data dir %s: %w", cfg.DataDir, err)
+	}
+	defer engine.Close()
+	if engine.Durable() {
+		log.Printf("durable catalog at %s: recovered %d table(s) (fsync=%v)",
+			cfg.DataDir, len(engine.DB().List()), cfg.Fsync)
+	}
 	if restore != "" {
 		if err := engine.DB().LoadFile(restore); err != nil {
 			return fmt.Errorf("restore %s: %w", restore, err)
 		}
 		log.Printf("restored %d table(s) from %s", len(engine.DB().List()), restore)
+		if engine.Durable() {
+			// Fold the imported catalog into segments right away so the
+			// replacement does not live only in the WAL.
+			if err := engine.Checkpoint(); err != nil {
+				return fmt.Errorf("checkpoint after restore: %w", err)
+			}
+		}
 	}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
@@ -108,9 +139,11 @@ func run(loads loadFlags, addr, restore, snapshot string, snapOnExit bool, paral
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("tspdbd listening on %s", addr)
-	err := srv.Run(ctx, addr, grace)
-	if err != nil {
+	if err := srv.Run(ctx, addr, grace); err != nil {
 		return err
+	}
+	if err := engine.Close(); err != nil {
+		return fmt.Errorf("close data dir: %w", err)
 	}
 	log.Printf("tspdbd shut down cleanly")
 	if snapOnExit {

@@ -20,11 +20,13 @@ import (
 
 	"repro/internal/clean"
 	"repro/internal/density"
+	"repro/internal/durable"
 	"repro/internal/query"
 	"repro/internal/sigmacache"
 	"repro/internal/storage"
 	"repro/internal/timeseries"
 	"repro/internal/view"
+	"repro/internal/wal"
 )
 
 // Errors reported by the engine.
@@ -50,14 +52,30 @@ type Config struct {
 	// 1 builds views sequentially, 0 selects GOMAXPROCS. Results are
 	// identical at every setting; only wall-clock time changes.
 	Parallelism int
+
+	// DataDir, when non-empty, makes the engine durable: OpenEngine
+	// recovers the catalog from this directory and every committed
+	// mutation is write-ahead logged before it is acknowledged
+	// (internal/durable). Empty keeps the catalog purely in memory.
+	DataDir string
+	// Fsync syncs the WAL on every commit (durable engines only): each
+	// acknowledged mutation survives power loss, not just process death.
+	Fsync bool
+	// WALFileBytes is the WAL rotation threshold (0: wal default).
+	WALFileBytes int64
+	// CheckpointBytes triggers a background checkpoint once this many WAL
+	// record bytes accumulate. 0 selects the durable default; negative
+	// disables automatic checkpoints.
+	CheckpointBytes int64
 }
 
 // Engine is the framework instance. All methods are safe for concurrent
 // use; online streams additionally serialise their own Step calls, so an
 // Engine can sit directly behind a network server.
 type Engine struct {
-	db  *storage.DB
-	cfg Config
+	db    *storage.DB
+	cfg   Config
+	store *durable.Store // nil for a purely in-memory engine
 
 	mu      sync.Mutex
 	streams map[string]*Stream // open streams, keyed by source table
@@ -75,8 +93,61 @@ func NewEngine() *Engine {
 }
 
 // NewEngineWith creates an empty engine with an explicit configuration.
+// Config.DataDir is ignored here — durability needs the recovery pass of
+// OpenEngine.
 func NewEngineWith(cfg Config) *Engine {
 	return &Engine{db: storage.NewDB(), cfg: cfg, streams: make(map[string]*Stream)}
+}
+
+// OpenEngine creates an engine honouring the full configuration. With a
+// DataDir it recovers the durable catalog from disk (manifest + segments +
+// WAL replay) and returns an engine whose commits are write-ahead logged;
+// Close flushes and releases it. Without a DataDir it is NewEngineWith.
+func OpenEngine(cfg Config) (*Engine, error) {
+	if cfg.DataDir == "" {
+		return NewEngineWith(cfg), nil
+	}
+	store, err := durable.Open(wal.OS(), cfg.DataDir, durable.Options{
+		Fsync:           cfg.Fsync,
+		WALFileBytes:    cfg.WALFileBytes,
+		CheckpointBytes: cfg.CheckpointBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: store.DB(), cfg: cfg, store: store, streams: make(map[string]*Stream)}, nil
+}
+
+// Durable reports whether the engine writes ahead to a data directory.
+func (e *Engine) Durable() bool { return e.store != nil }
+
+// Checkpoint flushes the WAL into segment files and trims it (durable
+// engines only). The catalog stays fully available throughout.
+func (e *Engine) Checkpoint() error {
+	if e.store == nil {
+		return fmt.Errorf("%w: engine has no data directory", ErrBadArg)
+	}
+	return e.store.Checkpoint()
+}
+
+// Close releases the engine: open streams are closed and, when durable,
+// a final checkpoint runs and the store shuts down. The engine must not
+// be used afterwards. Safe to call on an in-memory engine (no-op) and
+// more than once.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	streams := make([]*Stream, 0, len(e.streams))
+	for _, s := range e.streams {
+		streams = append(streams, s)
+	}
+	e.mu.Unlock()
+	for _, s := range streams {
+		s.Close()
+	}
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Close()
 }
 
 // SetParallelism changes the view-generation worker count (see Config).
@@ -429,7 +500,10 @@ func (s *Stream) StepDetailed(p timeseries.Point) (*StepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.engine.db.AppendRaw(s.cfg.Source, p); err != nil {
+	// Raw point and view rows commit as one unit — on a durable engine a
+	// single WAL record, written before this returns, so an acknowledged
+	// step is never half-recovered.
+	if err := s.engine.db.CommitStep(s.cfg.Source, p, s.table, out.Rows); err != nil {
 		// The stream's own watermark starts at the table's last timestamp,
 		// so an unsorted rejection here means a concurrent direct write
 		// moved the raw table ahead — a conflict, not a malformed request.
@@ -439,7 +513,6 @@ func (s *Stream) StepDetailed(p timeseries.Point) (*StepResult, error) {
 		return nil, err
 	}
 	commit()
-	s.table.AppendRows(out.Rows)
 	s.lastT = p.T
 	s.steps++
 	return out, nil

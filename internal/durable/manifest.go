@@ -1,0 +1,91 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"repro/internal/wal"
+)
+
+// manifestName is the catalog root inside the data directory. The
+// manifest is the commit point of a checkpoint: it lists every table,
+// the segment files holding its durable rows, and the WAL sequence
+// number recovery resumes replay from. It is replaced atomically
+// (write-temp, sync, rename), so recovery always sees either the old
+// checkpoint or the new one, never a torn mix.
+const manifestName = "MANIFEST"
+
+type manifestRaw struct {
+	Name     string   `json:"name"`
+	TimeCol  string   `json:"time_col"`
+	ValueCol string   `json:"value_col"`
+	Rows     int      `json:"rows"`
+	Segments []string `json:"segments,omitempty"`
+}
+
+type manifestView struct {
+	Name     string   `json:"name"`
+	Source   string   `json:"source"`
+	Metric   string   `json:"metric"`
+	Delta    float64  `json:"delta"`
+	N        int      `json:"n"`
+	Rows     int      `json:"rows"`
+	Segments []string `json:"segments,omitempty"`
+}
+
+type manifest struct {
+	Version int            `json:"version"`
+	WalSeq  uint64         `json:"wal_seq"` // replay resumes at this file
+	Raw     []manifestRaw  `json:"raw,omitempty"`
+	Views   []manifestView `json:"views,omitempty"`
+}
+
+// readManifest loads the manifest, returning (nil, nil) when none exists
+// yet — a fresh data directory.
+func readManifest(fs wal.FS, dir string) (*manifest, error) {
+	f, err := fs.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, nil
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("durable: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("durable: parse manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("durable: manifest version %d not supported", m.Version)
+	}
+	return &m, nil
+}
+
+// writeManifest atomically replaces the manifest: temp file, full write,
+// sync, rename. The rename is the checkpoint's commit point.
+func writeManifest(fs wal.FS, dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, filepath.Join(dir, manifestName))
+}

@@ -1,0 +1,378 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/timeseries"
+	"repro/internal/view"
+	"repro/internal/wal"
+	"repro/internal/wal/faultfs"
+)
+
+// tableDump is the observable state of one table: data plus the group
+// index and representative query results, so "recovered equals expected"
+// means byte-identical behaviour, not just equal row counts.
+type tableDump struct {
+	Kind     string
+	TimeCol  string
+	ValueCol string
+	Points   []timeseries.Point
+	Meta     storage.ViewMeta
+	Rows     []view.Row
+	Groups   []storage.TimeGroup
+	Times    []int64
+}
+
+// dumpDB snapshots every table's full observable state.
+func dumpDB(t *testing.T, db *storage.DB) map[string]tableDump {
+	t.Helper()
+	out := make(map[string]tableDump)
+	for _, ti := range db.List() {
+		switch ti.Kind {
+		case "raw":
+			rt, err := db.RawTable(ti.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := db.SnapshotSeries(ti.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts := make([]timeseries.Point, 0, s.Len())
+			for i := 0; i < s.Len(); i++ {
+				p, err := s.At(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pts = append(pts, p)
+			}
+			out[ti.Name] = tableDump{
+				Kind: "raw", TimeCol: rt.TimeCol, ValueCol: rt.ValueCol, Points: pts,
+			}
+		case "view":
+			p, err := db.View(ti.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := p.SnapshotRows()
+			if err := p.LoadErr(); err != nil {
+				t.Fatalf("view %q: %v", ti.Name, err)
+			}
+			out[ti.Name] = tableDump{
+				Kind: "view", Meta: p.Meta(), Rows: rows,
+				Groups: p.GroupsRange(math.MinInt64, math.MaxInt64),
+				Times:  p.Times(),
+			}
+		}
+	}
+	return out
+}
+
+func openStore(t *testing.T, fs wal.FS, opt Options) *Store {
+	t.Helper()
+	st, err := Open(fs, "data", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// seedWorkload drives a small deterministic mixed workload: two raw
+// tables, one streamed view, steps, plain appends, and a drop.
+func seedWorkload(t *testing.T, st *Store, steps int) {
+	t.Helper()
+	db := st.DB()
+	s0, err := timeseries.New([]timeseries.Point{{T: 1, V: 10}, {T: 2, V: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRawTable("sensor", "t", "r", s0); err != nil {
+		t.Fatal(err)
+	}
+	pv := &storage.ProbTable{Name: "pv", Source: "sensor", MetricName: "ewma", Omega: view.Omega{Delta: 0.5, N: 2}}
+	if err := db.StoreView(pv); err != nil {
+		t.Fatal(err)
+	}
+	aux, err := timeseries.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRawTable("aux", "", "", aux); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		tt := int64(3 + i)
+		rows := []view.Row{
+			{T: tt, Lambda: -1, Lo: float64(i), Hi: float64(i) + 0.5, Prob: 0.4},
+			{T: tt, Lambda: 0, Lo: float64(i) + 0.5, Hi: float64(i) + 1, Prob: 0.6},
+		}
+		if err := db.CommitStep("sensor", timeseries.Point{T: tt, V: float64(i)}, pv, rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AppendRaw("aux", timeseries.Point{T: tt, V: -float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Drop("aux"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenRestoresState(t *testing.T) {
+	fs := faultfs.New()
+	st := openStore(t, fs, Options{Fsync: true})
+	seedWorkload(t, st, 8)
+	want := dumpDB(t, st.DB())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, fs, Options{Fsync: true})
+	defer st2.Close()
+	got := dumpDB(t, st2.DB())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("state differs after reopen:\n got %+v\nwant %+v", got, want)
+	}
+	// Appends keep working against the recovered (segment-backed) tables.
+	pv, err := st2.DB().View("pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.DB().CommitStep("sensor", timeseries.Point{T: 100, V: 1}, pv,
+		[]view.Row{{T: 100, Lambda: 0, Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashWithoutCloseKeepsAckedState(t *testing.T) {
+	fs := faultfs.New()
+	st := openStore(t, fs, Options{Fsync: true})
+	seedWorkload(t, st, 5)
+	want := dumpDB(t, st.DB())
+	// No Close: crash. Only synced bytes survive; with Fsync on that is
+	// everything acknowledged.
+	img := fs.CrashImage()
+	st2 := openStore(t, img, Options{Fsync: true})
+	defer st2.Close()
+	if got := dumpDB(t, st2.DB()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state differs after crash:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointTrimsWALAndSurvivesReopen(t *testing.T) {
+	fs := faultfs.New()
+	st := openStore(t, fs, Options{Fsync: true, CheckpointBytes: -1})
+	seedWorkload(t, st, 10)
+	want := dumpDB(t, st.DB())
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := wal.List(fs, "data/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 {
+		t.Fatalf("WAL files after checkpoint: %v, want exactly the live file", seqs)
+	}
+	segs, err := fs.ReadDir("data/seg")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files after checkpoint (err=%v)", err)
+	}
+
+	// More commits after the checkpoint land in the trimmed WAL.
+	pv, err := st.DB().View("pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DB().CommitStep("sensor", timeseries.Point{T: 200, V: 2}, pv,
+		[]view.Row{{T: 200, Lambda: 0, Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	want2 := dumpDB(t, st.DB())
+
+	// Crash (no Close) and recover: manifest + segments + WAL tail.
+	img := fs.CrashImage()
+	st2 := openStore(t, img, Options{Fsync: true})
+	defer st2.Close()
+	// Row counts are visible before any segment read (lazy loader).
+	if n := mustView(t, st2.DB(), "pv").NumRows(); n != 21 {
+		t.Fatalf("recovered pv rows = %d, want 21", n)
+	}
+	got := dumpDB(t, st2.DB())
+	if !reflect.DeepEqual(got, want2) {
+		t.Fatalf("state differs after checkpointed crash:\n got %+v\nwant %+v", got, want2)
+	}
+	_ = want
+}
+
+func mustView(t *testing.T, db *storage.DB, name string) *storage.ProbTable {
+	t.Helper()
+	p, err := db.View(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRepeatedCheckpointsAccumulateSegments(t *testing.T) {
+	fs := faultfs.New()
+	st := openStore(t, fs, Options{Fsync: true, CheckpointBytes: -1})
+	db := st.DB()
+	s0, err := timeseries.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRawTable("sensor", "", "", s0); err != nil {
+		t.Fatal(err)
+	}
+	pv := &storage.ProbTable{Name: "pv", Source: "sensor", Omega: view.Omega{Delta: 1, N: 2}}
+	if err := db.StoreView(pv); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 5; i++ {
+			tt := int64(round*5 + i + 1)
+			if err := db.CommitStep("sensor", timeseries.Point{T: tt, V: float64(tt)}, pv,
+				[]view.Row{{T: tt, Lambda: 0, Prob: 1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dumpDB(t, db)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, fs, Options{Fsync: true})
+	defer st2.Close()
+	if got := dumpDB(t, st2.DB()); !reflect.DeepEqual(got, want) {
+		t.Fatal("state differs after multi-checkpoint reopen")
+	}
+}
+
+// TestStoreViewReplacementInvalidatesSegments pins the generation guard:
+// replacing a view wholesale after its rows were checkpointed must not
+// resurrect the old segment rows on recovery.
+func TestStoreViewReplacementInvalidatesSegments(t *testing.T) {
+	fs := faultfs.New()
+	st := openStore(t, fs, Options{Fsync: true, CheckpointBytes: -1})
+	db := st.DB()
+	pv := &storage.ProbTable{Name: "pv", Source: "s", Omega: view.Omega{Delta: 1, N: 2}}
+	pv.AppendRows([]view.Row{{T: 1, Lambda: 0, Prob: 1}, {T: 2, Lambda: 0, Prob: 1}})
+	if err := db.StoreView(pv); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	replacement := &storage.ProbTable{Name: "pv", Source: "s", Omega: view.Omega{Delta: 1, N: 2}}
+	replacement.AppendRows([]view.Row{{T: 9, Lambda: 0, Prob: 1}})
+	if err := db.StoreView(replacement); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpDB(t, db)
+
+	// Crash before any further checkpoint: recovery = old manifest (two
+	// rows) + WAL store-view record (replacement wins).
+	img := fs.CrashImage()
+	st2 := openStore(t, img, Options{Fsync: true})
+	if got := dumpDB(t, st2.DB()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replacement lost:\n got %+v\nwant %+v", got, want)
+	}
+	st2.Close()
+
+	// And through a second checkpoint the segments converge too.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := openStore(t, fs, Options{Fsync: true})
+	defer st3.Close()
+	if got := dumpDB(t, st3.DB()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replacement lost after checkpoint:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLoadSnapshotIntoDurableStore is the end-to-end half of the
+// LoadFile+AppendRows regression: a gob snapshot loaded into a durable
+// catalog, then appended to, must recover both the loaded and the
+// appended rows.
+func TestLoadSnapshotIntoDurableStore(t *testing.T) {
+	src := storage.NewDB()
+	s0, err := timeseries.New([]timeseries.Point{{T: 1, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.CreateRawTable("sensor", "", "", s0); err != nil {
+		t.Fatal(err)
+	}
+	pv := &storage.ProbTable{Name: "pv", Source: "sensor", Omega: view.Omega{Delta: 1, N: 2}}
+	pv.AppendRows([]view.Row{{T: 1, Lambda: 0, Prob: 1}})
+	if err := src.StoreView(pv); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := faultfs.New()
+	st := openStore(t, fs, Options{Fsync: true})
+	if err := st.DB().Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := mustView(t, st.DB(), "pv")
+	if err := q.AppendRows([]view.Row{{T: 5, Lambda: 0, Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpDB(t, st.DB())
+
+	img := fs.CrashImage()
+	st2 := openStore(t, img, Options{Fsync: true})
+	defer st2.Close()
+	got := dumpDB(t, st2.DB())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot+append lost on recovery:\n got %+v\nwant %+v", got, want)
+	}
+	if times := mustView(t, st2.DB(), "pv").Times(); !reflect.DeepEqual(times, []int64{1, 5}) {
+		t.Fatalf("recovered times = %v", times)
+	}
+}
+
+// TestPoisonedLogRejectsUntilReopen: once a WAL write fails, every later
+// commit is refused and in-memory state stops advancing — the catalog
+// can never run ahead of what recovery will reconstruct.
+func TestPoisonedLogRejectsUntilReopen(t *testing.T) {
+	fs := faultfs.New()
+	st := openStore(t, fs, Options{Fsync: true})
+	seedWorkload(t, st, 3)
+	want := dumpDB(t, st.DB())
+
+	fs.FailAt(fs.Ops()+1, faultfs.DropUnsynced)
+	pv := mustView(t, st.DB(), "pv")
+	err := st.DB().CommitStep("sensor", timeseries.Point{T: 50, V: 1}, pv,
+		[]view.Row{{T: 50, Lambda: 0, Prob: 1}})
+	if err == nil {
+		t.Fatal("commit with injected fault succeeded")
+	}
+	if err := st.DB().AppendRaw("sensor", timeseries.Point{T: 51, V: 1}); !errors.Is(err, wal.ErrPoisoned) {
+		t.Fatalf("append after fault = %v, want ErrPoisoned", err)
+	}
+	if got := dumpDB(t, st.DB()); !reflect.DeepEqual(got, want) {
+		t.Fatal("refused commits mutated in-memory state")
+	}
+	st2 := openStore(t, fs.CrashImage(), Options{Fsync: true})
+	defer st2.Close()
+	if got := dumpDB(t, st2.DB()); !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered state differs from last acked state")
+	}
+}

@@ -211,6 +211,12 @@ func (c *Client) Buckets(view string, t int64, buckets []BucketJSON) ([]BucketPr
 	return out.Buckets, nil
 }
 
+// Checkpoint asks a durable server to flush its WAL into segment files
+// and trim the replayed prefix.
+func (c *Client) Checkpoint() error {
+	return c.do(http.MethodPost, "/checkpoint", nil, nil)
+}
+
 // Snapshot asks the server to persist its catalog to the configured path.
 func (c *Client) Snapshot() (*SnapshotResponse, error) {
 	var out SnapshotResponse

@@ -89,6 +89,7 @@ func New(engine *core.Engine, cfg Config) *Server {
 	s.handle("POST /views/{view}/buckets", s.handleBuckets)
 	s.handle("GET /snapshot", s.handleSnapshotGet)
 	s.handle("POST /snapshot", s.handleSnapshotPost)
+	s.handle("POST /checkpoint", s.handleCheckpoint)
 	return s
 }
 
@@ -172,6 +173,9 @@ type HealthResponse struct {
 	UptimeSeconds int64  `json:"uptime_seconds"`
 	Tables        int    `json:"tables"`
 	Streams       int    `json:"streams"`
+	// Durable reports whether the engine write-ahead logs to a data
+	// directory (POST /checkpoint is only meaningful when true).
+	Durable bool `json:"durable"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
@@ -180,7 +184,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		UptimeSeconds: int64(time.Since(s.metrics.start).Seconds()),
 		Tables:        len(s.engine.DB().List()),
 		Streams:       len(s.engine.Streams()),
+		Durable:       s.engine.Durable(),
 	})
+}
+
+// CheckpointResponse is the POST /checkpoint payload: the durable engine
+// flushed its WAL into segment files and trimmed the replayed prefix.
+type CheckpointResponse struct {
+	Checkpointed bool `json:"checkpointed"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) error {
+	if err := s.engine.Checkpoint(); err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, CheckpointResponse{Checkpointed: true})
 }
 
 // CreateTableRequest is the PUT /tables/{table} payload.

@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/view"
+)
+
+// recLog is a CommitLog that records every call as a compact op string,
+// so tests can assert the exact write-ahead sequence.
+type recLog struct {
+	ops  []string
+	fail error // when set, every call refuses with this error
+}
+
+func (l *recLog) op(s string, args ...any) error {
+	if l.fail != nil {
+		return l.fail
+	}
+	l.ops = append(l.ops, fmt.Sprintf(s, args...))
+	return nil
+}
+
+func (l *recLog) CreateRaw(name, timeCol, valueCol string, pts []timeseries.Point) error {
+	return l.op("create-raw %s %s %s n=%d", name, timeCol, valueCol, len(pts))
+}
+func (l *recLog) AppendRaw(name string, p timeseries.Point) error {
+	return l.op("append-raw %s t=%d", name, p.T)
+}
+func (l *recLog) StoreView(meta ViewMeta, rows []view.Row) error {
+	return l.op("store-view %s src=%s n=%d", meta.Name, meta.Source, len(rows))
+}
+func (l *recLog) AppendRows(view string, prior int, rows []view.Row) error {
+	return l.op("append-rows %s prior=%d n=%d", view, prior, len(rows))
+}
+func (l *recLog) Step(source string, p timeseries.Point, view string, rows []view.Row) error {
+	return l.op("step %s t=%d %s n=%d", source, p.T, view, len(rows))
+}
+func (l *recLog) Drop(name string) error { return l.op("drop %s", name) }
+func (l *recLog) Reset() error           { return l.op("reset") }
+
+func mustSeries(t *testing.T, pts ...timeseries.Point) *timeseries.Series {
+	t.Helper()
+	s, err := timeseries.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCommitLogReceivesMutations pins the write-ahead order: every catalog
+// mutation shows up in the log exactly once, before it is applied, and a
+// rejected mutation never reaches the log.
+func TestCommitLogReceivesMutations(t *testing.T) {
+	db := NewDB()
+	log := &recLog{}
+	db.SetCommitLog(log)
+
+	if _, err := db.CreateRawTable("raw", "", "", mustSeries(t, timeseries.Point{T: 1, V: 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AppendRaw("raw", timeseries.Point{T: 2, V: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// An out-of-order point is rejected before logging.
+	if err := db.AppendRaw("raw", timeseries.Point{T: 2, V: 9}); !errors.Is(err, timeseries.ErrUnsorted) {
+		t.Fatalf("stale append = %v, want ErrUnsorted", err)
+	}
+	p := &ProbTable{Name: "pv", Source: "raw"}
+	p.AppendRows([]view.Row{{T: 1, Lambda: 0}})
+	if err := db.StoreView(p); err != nil {
+		t.Fatal(err)
+	}
+	// The stored table's handle is wired: appends through it are logged.
+	if err := p.AppendRows([]view.Row{{T: 2, Lambda: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("pv"); err != nil {
+		t.Fatal(err)
+	}
+	// Appends to a dropped table are applied but no longer logged.
+	if err := p.AppendRows([]view.Row{{T: 3, Lambda: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"create-raw raw t r n=1",
+		"append-raw raw t=2",
+		"store-view pv src=raw n=1",
+		"append-rows pv prior=1 n=1",
+		"drop pv",
+	}
+	if !reflect.DeepEqual(log.ops, want) {
+		t.Fatalf("log ops:\n  got  %q\n  want %q", log.ops, want)
+	}
+}
+
+// TestCommitStepSingleRecord pins that one ingest step — raw point plus
+// derived view rows — commits as a single logged record and that a
+// rejected step leaves both the log and the tables untouched.
+func TestCommitStepSingleRecord(t *testing.T) {
+	db := NewDB()
+	log := &recLog{}
+	db.SetCommitLog(log)
+	if _, err := db.CreateRawTable("raw", "", "", mustSeries(t, timeseries.Point{T: 1, V: 2})); err != nil {
+		t.Fatal(err)
+	}
+	p := &ProbTable{Name: "pv", Source: "raw"}
+	if err := db.StoreView(p); err != nil {
+		t.Fatal(err)
+	}
+	rows := []view.Row{{T: 2, Lambda: 0}, {T: 2, Lambda: 1}}
+	if err := db.CommitStep("raw", timeseries.Point{T: 2, V: 5}, p, rows); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.RawLen("raw"); n != 2 {
+		t.Fatalf("raw len = %d", n)
+	}
+	if p.NumRows() != 2 {
+		t.Fatalf("view rows = %d", p.NumRows())
+	}
+	// A stale step is rejected with ErrUnsorted, logging nothing.
+	if err := db.CommitStep("raw", timeseries.Point{T: 2, V: 6}, p, rows); !errors.Is(err, timeseries.ErrUnsorted) {
+		t.Fatalf("stale step = %v, want ErrUnsorted", err)
+	}
+	if n, _ := db.RawLen("raw"); n != 2 || p.NumRows() != 2 {
+		t.Fatal("rejected step mutated state")
+	}
+	want := []string{
+		"create-raw raw t r n=1",
+		"store-view pv src=raw n=0",
+		"step raw t=2 pv n=2",
+	}
+	if !reflect.DeepEqual(log.ops, want) {
+		t.Fatalf("log ops:\n  got  %q\n  want %q", log.ops, want)
+	}
+}
+
+// TestCommitLogFailureLeavesStateUnchanged: when the log refuses (e.g. a
+// poisoned WAL), the mutation must not be applied — the in-memory state
+// can never run ahead of what recovery will reconstruct.
+func TestCommitLogFailureLeavesStateUnchanged(t *testing.T) {
+	db := NewDB()
+	log := &recLog{}
+	db.SetCommitLog(log)
+	if _, err := db.CreateRawTable("raw", "", "", mustSeries(t, timeseries.Point{T: 1, V: 2})); err != nil {
+		t.Fatal(err)
+	}
+	p := &ProbTable{Name: "pv", Source: "raw"}
+	if err := db.StoreView(p); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("wal poisoned")
+	log.fail = boom
+	if err := db.AppendRaw("raw", timeseries.Point{T: 5, V: 1}); !errors.Is(err, boom) {
+		t.Fatalf("AppendRaw = %v", err)
+	}
+	if err := p.AppendRows([]view.Row{{T: 5, Lambda: 0}}); !errors.Is(err, boom) {
+		t.Fatalf("AppendRows = %v", err)
+	}
+	if err := db.CommitStep("raw", timeseries.Point{T: 5, V: 1}, p, []view.Row{{T: 5}}); !errors.Is(err, boom) {
+		t.Fatalf("CommitStep = %v", err)
+	}
+	if err := db.Drop("pv"); !errors.Is(err, boom) {
+		t.Fatalf("Drop = %v", err)
+	}
+	if n, _ := db.RawLen("raw"); n != 1 {
+		t.Fatalf("raw len = %d after refused appends", n)
+	}
+	if p.NumRows() != 0 {
+		t.Fatalf("view rows = %d after refused appends", p.NumRows())
+	}
+	if _, err := db.View("pv"); err != nil {
+		t.Fatalf("refused drop removed the view: %v", err)
+	}
+}
+
+// TestLoadRelogsSnapshot is the durable half of the LoadFile+AppendRows
+// regression (see TestIndexAfterLoadFileAppendRows): loading a gob
+// snapshot into a logged catalog must re-log the whole replacement and
+// wire the loaded tables, so appends after the load are logged too — not
+// silently lost at the next recovery.
+func TestLoadRelogsSnapshot(t *testing.T) {
+	src := NewDB()
+	if _, err := src.CreateRawTable("raw", "", "", mustSeries(t, timeseries.Point{T: 1, V: 2})); err != nil {
+		t.Fatal(err)
+	}
+	p := &ProbTable{Name: "pv", Source: "raw"}
+	p.AppendRows([]view.Row{{T: 1, Lambda: 0}, {T: 1, Lambda: 1}})
+	if err := src.StoreView(p); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	db := NewDB()
+	log := &recLog{}
+	db.SetCommitLog(log)
+	if err := db.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.View("pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AppendRows([]view.Row{{T: 2, Lambda: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"reset",
+		"create-raw raw t r n=1",
+		"store-view pv src=raw n=2",
+		"append-rows pv prior=2 n=1",
+	}
+	if !reflect.DeepEqual(log.ops, want) {
+		t.Fatalf("log ops:\n  got  %q\n  want %q", log.ops, want)
+	}
+}
+
+// TestLazyLoaderMaterialises covers the segment-backed view path: the row
+// count is visible without triggering the load, the first real access
+// materialises exactly once, and a failed load is sticky without the
+// table appearing to shrink.
+func TestLazyLoaderMaterialises(t *testing.T) {
+	p := &ProbTable{Name: "pv"}
+	calls := 0
+	p.SetLoader(3, func() ([]view.Row, error) {
+		calls++
+		return []view.Row{{T: 1, Lambda: 0}, {T: 1, Lambda: 1}, {T: 4, Lambda: 0}}, nil
+	})
+	if n := p.NumRows(); n != 3 || calls != 0 {
+		t.Fatalf("NumRows = %d (loader calls %d), want 3 rows without loading", n, calls)
+	}
+	if got := p.Times(); !reflect.DeepEqual(got, []int64{1, 4}) {
+		t.Fatalf("Times = %v", got)
+	}
+	if calls != 1 {
+		t.Fatalf("loader ran %d times", calls)
+	}
+	if err := p.AppendRows([]view.Row{{T: 9, Lambda: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.NumRows(); n != 4 || calls != 1 {
+		t.Fatalf("NumRows = %d, loader calls %d", n, calls)
+	}
+
+	bad := &ProbTable{Name: "pv2"}
+	boom := errors.New("segment corrupt")
+	bad.SetLoader(7, func() ([]view.Row, error) { return nil, boom })
+	if got := bad.Times(); got != nil {
+		t.Fatalf("Times on failed load = %v", got)
+	}
+	if n := bad.NumRows(); n != 7 {
+		t.Fatalf("NumRows after failed load = %d, want 7 (table must not shrink)", n)
+	}
+	if err := bad.LoadErr(); !errors.Is(err, boom) {
+		t.Fatalf("LoadErr = %v", err)
+	}
+	if err := bad.ForEachGroup(0, 100, func(int64, []view.Row) error { return nil }); !errors.Is(err, boom) {
+		t.Fatalf("ForEachGroup = %v", err)
+	}
+	if err := bad.AppendRows([]view.Row{{T: 1}}); !errors.Is(err, boom) {
+		t.Fatalf("AppendRows = %v", err)
+	}
+}

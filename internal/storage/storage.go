@@ -27,6 +27,47 @@ var (
 	ErrBadSchema = errors.New("storage: invalid schema")
 )
 
+// CommitLog receives every catalog mutation before it is applied — the
+// write-ahead contract. Implementations (internal/durable) append one
+// record per call to a WAL; a nil error means the record is recoverable,
+// which is what lets the catalog apply the mutation and acknowledge it.
+// Calls arrive in the exact order a replay must re-apply them.
+type CommitLog interface {
+	// CreateRaw records the registration of a raw table with its seed points.
+	CreateRaw(name, timeCol, valueCol string, pts []timeseries.Point) error
+	// AppendRaw records one appended raw point.
+	AppendRaw(name string, p timeseries.Point) error
+	// StoreView records the registration (or wholesale replacement) of a view.
+	StoreView(meta ViewMeta, rows []view.Row) error
+	// AppendRows records a batch of rows appended to a view. prior is the
+	// table's row count just before the append: appends are strictly
+	// ordered per table, so a replayer compares prior against the
+	// recovered table's count to apply each batch exactly once even when
+	// a checkpoint already flushed it.
+	AppendRows(view string, prior int, rows []view.Row) error
+	// Step records one atomic ingest step: a raw point and the view rows
+	// it produced, committed together.
+	Step(source string, p timeseries.Point, view string, rows []view.Row) error
+	// Drop records the removal of a table.
+	Drop(name string) error
+	// Reset records a wholesale catalog replacement (snapshot load).
+	Reset() error
+}
+
+// ViewMeta is the identity of a probabilistic view without its rows —
+// what the commit log and segment files record alongside the data.
+type ViewMeta struct {
+	Name       string
+	Source     string
+	MetricName string
+	Omega      view.Omega
+}
+
+// RowsLoader materialises a lazily-loaded view's rows (e.g. from a
+// segment file). It is called at most once, under the table lock, by the
+// first accessor that needs the rows.
+type RowsLoader func() ([]view.Row, error)
+
 // RawTable is a raw-value time-series table with named time and value
 // columns (e.g. <time, r> per Fig. 2).
 type RawTable struct {
@@ -72,6 +113,51 @@ type ProbTable struct {
 	groups  []TimeGroup
 	indexed int
 	head    *view.Row
+
+	// logger, when set, receives every append before it is applied.
+	// Attached while the table sits in a logged catalog, detached on Drop.
+	logger CommitLog
+
+	// load defers materialisation of segment-backed rows: until the first
+	// access that needs them, the table only knows it has pending rows.
+	// A failed load is sticky in loadErr; pending keeps reporting the
+	// durable row count so the table does not appear to have shrunk.
+	load    RowsLoader
+	pending int
+	loadErr error
+}
+
+// Meta returns the view's identity (everything but the rows). The fields
+// are immutable after construction, so no lock is needed.
+func (p *ProbTable) Meta() ViewMeta {
+	return ViewMeta{Name: p.Name, Source: p.Source, MetricName: p.MetricName, Omega: p.Omega}
+}
+
+// SetLoader arms lazy materialisation: the table reports n rows but
+// fetches them through load only on first access that needs them. Used by
+// recovery to open segment-backed views without reading the segments.
+func (p *ProbTable) SetLoader(n int, load RowsLoader) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.load = load
+	p.pending = n
+	p.loadErr = nil
+	p.groups, p.indexed, p.head = nil, 0, nil
+}
+
+// LoadErr reports a failed lazy materialisation. Accessors on a table in
+// this state return empty results; appends and ForEachGroup surface the
+// error.
+func (p *ProbTable) LoadErr() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.loadErr
+}
+
+func (p *ProbTable) setLogger(l CommitLog) {
+	p.mu.Lock()
+	p.logger = l
+	p.mu.Unlock()
 }
 
 // TimeGroup locates the rows of one timestamp inside the flat row slice:
@@ -81,11 +167,11 @@ type TimeGroup struct {
 	Off, Len int
 }
 
-// indexStale reports whether the group index lags Rows: rows were appended,
-// or Rows was shrunk or replaced wholesale (different backing array).
-// Caller holds the lock (read or write).
+// indexStale reports whether the group index lags Rows: a lazy load is
+// pending, rows were appended, or Rows was shrunk or replaced wholesale
+// (different backing array). Caller holds the lock (read or write).
 func (p *ProbTable) indexStale() bool {
-	return p.indexed != len(p.Rows) || (p.indexed > 0 && p.head != &p.Rows[0])
+	return p.load != nil || p.indexed != len(p.Rows) || (p.indexed > 0 && p.head != &p.Rows[0])
 }
 
 // extendIndex catches the group index up with Rows. Caller holds the write
@@ -95,6 +181,18 @@ func (p *ProbTable) indexStale() bool {
 // triggers a full rebuild — the same linear cost the reallocation itself
 // just paid.
 func (p *ProbTable) extendIndex() {
+	if load := p.load; load != nil {
+		// Materialise the pending lazy load exactly once; a failure is
+		// sticky and leaves pending in place so the row count holds.
+		p.load = nil
+		rows, err := load()
+		if err != nil {
+			p.loadErr = err
+		} else {
+			p.Rows = append(rows, p.Rows...)
+			p.pending = 0
+		}
+	}
 	if p.indexed > len(p.Rows) || (p.indexed > 0 && p.head != &p.Rows[0]) {
 		p.groups, p.indexed = nil, 0
 	}
@@ -129,13 +227,30 @@ func (p *ProbTable) rlockIndexed() {
 }
 
 // AppendRows extends the materialised view (online-mode incremental
-// generation). Rows must continue the ascending-timestamp order.
-func (p *ProbTable) AppendRows(rows []view.Row) {
+// generation). Rows must continue the ascending-timestamp order. When the
+// table sits in a logged catalog the batch is logged before it is applied;
+// a logging failure leaves the table unchanged.
+func (p *ProbTable) AppendRows(rows []view.Row) error {
 	if len(rows) == 0 {
-		return
+		return nil
 	}
 	p.mu.Lock()
-	p.extendIndex() // in case Rows was assigned directly since the last append
+	defer p.mu.Unlock()
+	return p.appendLocked(rows, true)
+}
+
+// appendLocked logs (optionally) and applies one row batch. Caller holds
+// the write lock.
+func (p *ProbTable) appendLocked(rows []view.Row, logIt bool) error {
+	p.extendIndex() // materialise a pending lazy load; catch up direct assignment
+	if p.loadErr != nil {
+		return fmt.Errorf("view %q: %w", p.Name, p.loadErr)
+	}
+	if logIt && p.logger != nil {
+		if err := p.logger.AppendRows(p.Name, len(p.Rows), rows); err != nil {
+			return err
+		}
+	}
 	p.Rows = append(p.Rows, rows...)
 	// The append preserves the indexed prefix even when it reallocates the
 	// backing array, so refresh the identity watermark before extending:
@@ -143,14 +258,16 @@ func (p *ProbTable) AppendRows(rows []view.Row) {
 	// trigger a full rebuild under the write lock.
 	p.head = &p.Rows[0]
 	p.extendIndex()
-	p.mu.Unlock()
+	return nil
 }
 
-// NumRows returns the current row count.
+// NumRows returns the current row count. Rows pending behind a lazy
+// loader are counted without triggering the load, so listing a catalog of
+// segment-backed views stays cheap.
 func (p *ProbTable) NumRows() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return len(p.Rows)
+	return p.pending + len(p.Rows)
 }
 
 // NumTimes returns the current count of distinct timestamps (tuples).
@@ -160,13 +277,35 @@ func (p *ProbTable) NumTimes() int {
 	return len(p.groups)
 }
 
-// SnapshotRows returns a copy of all rows, isolated from later appends.
-func (p *ProbTable) SnapshotRows() []view.Row {
-	p.mu.RLock()
+// LastTime returns the view's most recent timestamp, or ok=false for an
+// empty view.
+func (p *ProbTable) LastTime() (t int64, ok bool) {
+	p.rlockIndexed()
 	defer p.mu.RUnlock()
+	if len(p.groups) == 0 {
+		return 0, false
+	}
+	return p.groups[len(p.groups)-1].T, true
+}
+
+// SnapshotRows returns a copy of all rows, isolated from later appends,
+// materialising a pending lazy load first. A failed load yields an empty
+// copy — callers that must distinguish use snapshotRows.
+func (p *ProbTable) SnapshotRows() []view.Row {
+	out, _ := p.snapshotRows()
+	return out
+}
+
+func (p *ProbTable) snapshotRows() ([]view.Row, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.extendIndex()
+	if p.loadErr != nil {
+		return nil, fmt.Errorf("view %q: %w", p.Name, p.loadErr)
+	}
 	out := make([]view.Row, len(p.Rows))
 	copy(out, p.Rows)
-	return out
+	return out, nil
 }
 
 // groupSpan returns the index positions [lo, hi) of the groups with
@@ -246,6 +385,9 @@ func (p *ProbTable) GroupsRange(tLo, tHi int64) []TimeGroup {
 func (p *ProbTable) ForEachGroup(tLo, tHi int64, fn func(t int64, rows []view.Row) error) error {
 	p.rlockIndexed()
 	defer p.mu.RUnlock()
+	if p.loadErr != nil {
+		return fmt.Errorf("view %q: %w", p.Name, p.loadErr)
+	}
 	lo, hi := p.groupSpan(tLo, tHi)
 	for _, g := range p.groups[lo:hi] {
 		if err := fn(g.T, p.Rows[g.Off:g.Off+g.Len:g.Off+g.Len]); err != nil {
@@ -260,6 +402,22 @@ type DB struct {
 	mu   sync.RWMutex
 	raw  map[string]*RawTable
 	prob map[string]*ProbTable
+	log  CommitLog // when set, every mutation is logged before it is applied
+}
+
+// SetCommitLog attaches a commit log to the catalog: every later mutation
+// is logged before it is applied (write-ahead), in the exact order a
+// replay must re-apply it. Attaching also wires every resident view table,
+// so appends through table handles are logged too. Pass nil to detach —
+// the recovery replayer does, so re-applying logged records does not
+// re-log them.
+func (db *DB) SetCommitLog(l CommitLog) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.log = l
+	for _, p := range db.prob {
+		p.setLogger(l)
+	}
 }
 
 // NewDB returns an empty catalog.
@@ -309,9 +467,49 @@ func (db *DB) CreateRawTable(name, timeCol, valueCol string, s *timeseries.Serie
 	if _, dup := db.prob[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
+	if db.log != nil {
+		pts, err := seriesPoints(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.log.CreateRaw(name, timeCol, valueCol, pts); err != nil {
+			return nil, err
+		}
+	}
 	t := &RawTable{Name: name, TimeCol: timeCol, ValueCol: valueCol, Series: s}
 	db.raw[name] = t
 	return t, nil
+}
+
+// seriesPoints copies every point of a series.
+func seriesPoints(s *timeseries.Series) ([]timeseries.Point, error) {
+	pts := make([]timeseries.Point, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		p, err := s.At(i)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// validateAppend rejects the out-of-order point Series.Append would
+// reject, without mutating anything — the pre-log check that keeps the
+// WAL free of records the in-memory table refuses.
+func (t *RawTable) validateAppend(p timeseries.Point) error {
+	n := t.Series.Len()
+	if n == 0 {
+		return nil
+	}
+	last, err := t.Series.At(n - 1)
+	if err != nil {
+		return err
+	}
+	if p.T <= last.T {
+		return fmt.Errorf("%w: t=%d not after t=%d", timeseries.ErrUnsorted, p.T, last.T)
+	}
+	return nil
 }
 
 // RawTable fetches a raw table by name.
@@ -325,7 +523,9 @@ func (db *DB) RawTable(name string) (*RawTable, error) {
 	return t, nil
 }
 
-// AppendRaw appends a point to a raw table (online ingestion).
+// AppendRaw appends a point to a raw table (online ingestion). The point
+// is validated, then logged, then applied: a rejected point never reaches
+// the commit log, and a logging failure leaves the table unchanged.
 func (db *DB) AppendRaw(name string, p timeseries.Point) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -333,7 +533,58 @@ func (db *DB) AppendRaw(name string, p timeseries.Point) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	if err := t.validateAppend(p); err != nil {
+		return err
+	}
+	if db.log != nil {
+		if err := db.log.AppendRaw(name, p); err != nil {
+			return err
+		}
+	}
 	return t.Series.Append(p)
+}
+
+// CommitStep commits one ingest step atomically: the raw point and the
+// view rows it produced go into a single logged record, and both are
+// applied under the catalog lock before the step is acknowledged. On
+// recovery the step replays as a unit — an acked step never resurfaces
+// with its point but not its rows.
+//
+// The whole step runs under the catalog write lock, which is also what a
+// checkpoint capture takes: a capture therefore sees both sides of the
+// step or neither, so the "flushed to segments" / "still in the WAL"
+// boundary is exact.
+func (db *DB) CommitStep(source string, pt timeseries.Point, table *ProbTable, rows []view.Row) error {
+	if table == nil {
+		return fmt.Errorf("%w: nil view", ErrBadSchema)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.raw[source]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, source)
+	}
+	if err := t.validateAppend(pt); err != nil {
+		return err
+	}
+	table.mu.Lock()
+	defer table.mu.Unlock()
+	table.extendIndex() // surface a failed lazy load before logging anything
+	if table.loadErr != nil {
+		return fmt.Errorf("view %q: %w", table.Name, table.loadErr)
+	}
+	if db.log != nil {
+		if err := db.log.Step(source, pt, table.Name, rows); err != nil {
+			return err
+		}
+	}
+	if err := t.Series.Append(pt); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	return table.appendLocked(rows, false)
 }
 
 // LastRawTime returns the timestamp of a raw table's most recent point —
@@ -431,6 +682,16 @@ func (db *DB) StoreView(p *ProbTable) error {
 	if _, dup := db.raw[p.Name]; dup {
 		return fmt.Errorf("%w: %q is a raw table", ErrExists, p.Name)
 	}
+	if db.log != nil {
+		rows, err := p.snapshotRows() // materialises a lazy load; the record needs the rows
+		if err != nil {
+			return err
+		}
+		if err := db.log.StoreView(p.Meta(), rows); err != nil {
+			return err
+		}
+	}
+	p.setLogger(db.log)
 	db.prob[p.Name] = p
 	return nil
 }
@@ -451,14 +712,44 @@ func (db *DB) Drop(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.raw[name]; ok {
+		if db.log != nil {
+			if err := db.log.Drop(name); err != nil {
+				return err
+			}
+		}
 		delete(db.raw, name)
 		return nil
 	}
-	if _, ok := db.prob[name]; ok {
+	if p, ok := db.prob[name]; ok {
+		if db.log != nil {
+			if err := db.log.Drop(name); err != nil {
+				return err
+			}
+		}
+		p.setLogger(nil) // a dropped table's appends are no longer logged
 		delete(db.prob, name)
 		return nil
 	}
 	return fmt.Errorf("%w: %q", ErrNotFound, name)
+}
+
+// Reset empties the catalog. On a logged catalog a single Reset record is
+// logged first; the recovery replayer applies it by calling Reset on a
+// detached catalog.
+func (db *DB) Reset() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log != nil {
+		if err := db.log.Reset(); err != nil {
+			return err
+		}
+	}
+	for _, p := range db.prob {
+		p.setLogger(nil)
+	}
+	db.raw = make(map[string]*RawTable)
+	db.prob = make(map[string]*ProbTable)
+	return nil
 }
 
 // TableInfo describes one catalog entry.
@@ -506,15 +797,8 @@ func (db *DB) Save(w io.Writer) error {
 	var snap snapshot
 	var err error
 	for _, t := range db.raw {
-		pts := make([]timeseries.Point, 0, t.Series.Len())
-		for i := 0; i < t.Series.Len(); i++ {
-			var p timeseries.Point
-			p, err = t.Series.At(i)
-			if err != nil {
-				break
-			}
-			pts = append(pts, p)
-		}
+		var pts []timeseries.Point
+		pts, err = seriesPoints(t.Series)
 		if err != nil {
 			break
 		}
@@ -524,12 +808,17 @@ func (db *DB) Save(w io.Writer) error {
 	}
 	if err == nil {
 		for _, p := range db.prob {
+			var rows []view.Row
+			rows, err = p.snapshotRows()
+			if err != nil {
+				break
+			}
 			snap.Prob = append(snap.Prob, &ProbTable{
 				Name:       p.Name,
 				Source:     p.Source,
 				MetricName: p.MetricName,
 				Omega:      p.Omega,
-				Rows:       p.SnapshotRows(),
+				Rows:       rows,
 			})
 		}
 	}
@@ -583,6 +872,11 @@ func (db *DB) LoadFile(path string) error {
 }
 
 // Load replaces the catalog contents with a snapshot produced by Save.
+// On a logged catalog the whole replacement is re-logged (a Reset record
+// followed by the loaded tables), so tables restored from a gob snapshot
+// are as durable — and their later appends as logged — as tables built in
+// place. See TestIndexAfterLoadFileAppendRows for the append-after-load
+// contract this upholds.
 func (db *DB) Load(r io.Reader) error {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -602,7 +896,124 @@ func (db *DB) Load(r io.Reader) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.log != nil {
+		if err := db.log.Reset(); err != nil {
+			return err
+		}
+		for _, rs := range snap.Raw {
+			if err := db.log.CreateRaw(rs.Name, rs.TimeCol, rs.ValueCol, rs.Points); err != nil {
+				return err
+			}
+		}
+		for _, p := range snap.Prob {
+			if err := db.log.StoreView(p.Meta(), p.Rows); err != nil {
+				return err
+			}
+		}
+	}
+	// The decoded tables are not shared yet, so the loggers can be set
+	// without taking their locks.
+	for _, p := range prob {
+		p.logger = db.log
+	}
 	db.raw = raw
 	db.prob = prob
 	return nil
+}
+
+// RawState is a checkpoint capture of one raw table: its schema and the
+// points past the caller's durable watermark.
+type RawState struct {
+	Name     string
+	TimeCol  string
+	ValueCol string
+	From     int // points already durable in segments
+	Points   []timeseries.Point
+	Total    int
+}
+
+// ViewState is a checkpoint capture of one view table: its identity and
+// the rows past the caller's durable watermark. A table whose lazy load
+// is still pending (or failed: Err) captures From == Total and no rows —
+// everything resident is durable already.
+type ViewState struct {
+	Meta  ViewMeta
+	From  int // rows already durable in segments
+	Rows  []view.Row
+	Total int
+	Err   error
+}
+
+// CaptureCheckpoint is the atomic snapshot step of a checkpoint: under
+// the catalog write lock — with every commit quiesced — it first calls
+// rotate (the WAL rotation) and then captures each table's suffix past
+// the caller's durable watermarks. The boundary is exact: every mutation
+// logged before the rotation point is covered by the captured state, and
+// every mutation logged after it is not. Captures list every table, even
+// ones with nothing new to flush, so the caller's manifest records the
+// full catalog. Results are sorted by name.
+func (db *DB) CaptureCheckpoint(rotate func() error, rawFrom, viewFrom func(name string) int) ([]RawState, []ViewState, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if rotate != nil {
+		if err := rotate(); err != nil {
+			return nil, nil, err
+		}
+	}
+	raws := make([]RawState, 0, len(db.raw))
+	for name, t := range db.raw {
+		total := t.Series.Len()
+		from := rawFrom(name)
+		if from < 0 {
+			from = 0
+		}
+		if from > total {
+			from = total
+		}
+		pts := make([]timeseries.Point, 0, total-from)
+		for i := from; i < total; i++ {
+			p, err := t.Series.At(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			pts = append(pts, p)
+		}
+		raws = append(raws, RawState{
+			Name: name, TimeCol: t.TimeCol, ValueCol: t.ValueCol,
+			From: from, Points: pts, Total: total,
+		})
+	}
+	views := make([]ViewState, 0, len(db.prob))
+	for name, p := range db.prob {
+		views = append(views, p.captureState(viewFrom(name)))
+	}
+	sort.Slice(raws, func(i, j int) bool { return raws[i].Name < raws[j].Name })
+	sort.Slice(views, func(i, j int) bool { return views[i].Meta.Name < views[j].Meta.Name })
+	return raws, views, nil
+}
+
+// captureState copies the table's suffix past from for a checkpoint.
+func (p *ProbTable) captureState(from int) ViewState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := ViewState{Meta: p.Meta()}
+	if p.load != nil || p.loadErr != nil {
+		// Rows are not resident: everything the table holds is already
+		// durable in segments, so there is nothing new to flush.
+		st.Total = p.pending
+		st.From = st.Total
+		st.Err = p.loadErr
+		return st
+	}
+	total := len(p.Rows)
+	if from < 0 {
+		from = 0
+	}
+	if from > total {
+		from = total
+	}
+	rows := make([]view.Row, total-from)
+	copy(rows, p.Rows[from:])
+	st.From, st.Rows, st.Total = from, rows, total
+	return st
 }

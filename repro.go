@@ -88,7 +88,14 @@ func NewEngine() *Engine { return core.NewEngine() }
 
 // NewEngineWith creates an empty engine with an explicit configuration,
 // e.g. EngineConfig{Parallelism: 1} for strictly sequential view builds.
+// The engine is purely in-memory; for durability use OpenEngine.
 func NewEngineWith(cfg EngineConfig) *Engine { return core.NewEngineWith(cfg) }
+
+// OpenEngine creates an engine honouring the full configuration. With
+// EngineConfig.DataDir set, the catalog is recovered from that directory
+// and every committed mutation is write-ahead logged before it is
+// acknowledged; call (*Engine).Close to flush and release it.
+func OpenEngine(cfg EngineConfig) (*Engine, error) { return core.OpenEngine(cfg) }
 
 // NewServer wraps an engine in the HTTP/JSON serving subsystem. Serve it
 // with (*Server).Run for graceful shutdown, or mount it on any http.Server —
