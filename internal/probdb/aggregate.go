@@ -9,17 +9,15 @@ import (
 	"repro/internal/view"
 )
 
-// Aggregate queries over a time range of a tuple-independent probabilistic
-// view. Tuples at different timestamps are independent random variables (the
-// tuple-independence assumption of Definition 2), so conjunctions and
-// disjunctions across time multiply in the usual safe-plan fashion
-// (Dalvi & Suciu, reference [3] of the paper).
-//
-// Every aggregate here is a single-pass consumer of the view's timestamp
-// group index (storage.ProbTable.ForEachGroup): one indexed scan over the
-// requested range, each tuple's rows handed over as a zero-copy span. The
-// legacy shape — Times() full scan, then a binary search plus row copy per
-// timestamp — is preserved only in the benchmarks as the baseline.
+// Row-at-a-time aggregate path: every consumer below walks the view's
+// timestamp group index (storage.ProbTable.ForEachGroup) and hands each
+// tuple's rows to the per-tuple []view.Row kernels through closures. This
+// was the hot path through PR 6; the columnar batch kernels in columnar.go
+// have since taken over the public names, and this file is kept as the
+// independent oracle the property and fuzz tests pin the batch kernels
+// against (byte-identical results, matching errors). It shares no inner
+// loops with the columnar path, which is what makes the cross-check
+// meaningful.
 
 // TimeSeriesPoint pairs a timestamp with a per-tuple scalar.
 type TimeSeriesPoint struct {
@@ -29,8 +27,7 @@ type TimeSeriesPoint struct {
 
 // eachTuple runs query on every tuple of the view within [tLo, tHi] in one
 // indexed pass and feeds each scalar to fn; it guards the nil view and
-// reports ErrNoRows when the range holds no tuples. Every range aggregate
-// below is built on it.
+// reports ErrNoRows when the range holds no tuples.
 func eachTuple(p *storage.ProbTable, tLo, tHi int64, query func(rows []view.Row) (float64, error), fn func(t int64, v float64) error) error {
 	if p == nil {
 		return fmt.Errorf("%w: nil view", ErrBadArg)
@@ -66,16 +63,13 @@ func seriesOver(p *storage.ProbTable, tLo, tHi int64, query func(rows []view.Row
 	return out, nil
 }
 
-// ExpectedSeries returns the expected true value at every timestamp of the
-// view within [tLo, tHi] — the model-based view abstraction of MauveDB
-// (reference [25]) recovered from the probabilistic database.
-func ExpectedSeries(p *storage.ProbTable, tLo, tHi int64) ([]TimeSeriesPoint, error) {
+// rowExpectedSeries is the row-at-a-time oracle for ExpectedSeries.
+func rowExpectedSeries(p *storage.ProbTable, tLo, tHi int64) ([]TimeSeriesPoint, error) {
 	return seriesOver(p, tLo, tHi, Expected)
 }
 
-// ProbSeries returns P(lo < R_t <= hi) at every timestamp of the view within
-// [tLo, tHi].
-func ProbSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]TimeSeriesPoint, error) {
+// rowProbSeries is the row-at-a-time oracle for ProbSeries.
+func rowProbSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]TimeSeriesPoint, error) {
 	return seriesOver(p, tLo, tHi, func(rows []view.Row) (float64, error) {
 		return RangeProb(rows, lo, hi)
 	})
@@ -90,10 +84,8 @@ func eachProb(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, fn func(q fl
 		func(_ int64, q float64) error { return fn(q) })
 }
 
-// ExpectedCount returns the expected number of timestamps in [tLo, tHi]
-// whose true value lies in (lo, hi]: the sum of per-tuple probabilities
-// (linearity of expectation, no independence needed).
-func ExpectedCount(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+// rowExpectedCount is the row-at-a-time oracle for ExpectedCount.
+func rowExpectedCount(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
 	sum := 0.0
 	if err := eachProb(p, tLo, tHi, lo, hi, func(q float64) error {
 		sum += q
@@ -108,9 +100,8 @@ func ExpectedCount(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float6
 // is decided, ending the indexed pass early without surfacing an error.
 var errStopScan = errors.New("probdb: stop scan")
 
-// AnyInRange returns P(at least one R_t in (lo, hi]) over [tLo, tHi] under
-// tuple independence: 1 - prod(1 - p_t).
-func AnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+// rowAnyInRange is the row-at-a-time oracle for AnyInRange.
+func rowAnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
 	// Work in log space to stay accurate when many tuples are involved.
 	logNone, certain := 0.0, false
 	err := eachProb(p, tLo, tHi, lo, hi, func(q float64) error {
@@ -130,9 +121,8 @@ func AnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, 
 	return 1 - math.Exp(logNone), nil
 }
 
-// AllInRange returns P(every R_t in (lo, hi]) over [tLo, tHi] under tuple
-// independence: prod(p_t).
-func AllInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+// rowAllInRange is the row-at-a-time oracle for AllInRange.
+func rowAllInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
 	logAll, impossible := 0.0, false
 	err := eachProb(p, tLo, tHi, lo, hi, func(q float64) error {
 		if q <= 0 {
@@ -151,39 +141,53 @@ func AllInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, 
 	return math.Exp(logAll), nil
 }
 
-// ExceedanceCountDistribution returns the probability mass function of the
-// number of timestamps in [tLo, tHi] whose value lies in (lo, hi], computed
-// by the exact Poisson-binomial dynamic program over the per-tuple
-// probabilities. Entry k of the result is P(count = k).
-func ExceedanceCountDistribution(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]float64, error) {
-	series, err := ProbSeries(p, tLo, tHi, lo, hi)
+// rowExceedanceCountDistribution is the row-at-a-time oracle for
+// ExceedanceCountDistribution.
+func rowExceedanceCountDistribution(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]float64, error) {
+	series, err := rowProbSeries(p, tLo, tHi, lo, hi)
 	if err != nil {
 		return nil, err
 	}
-	pmf := make([]float64, len(series)+1)
+	probs := make([]float64, len(series))
+	for i, pt := range series {
+		probs[i] = pt.Value
+	}
+	return poissonBinomialPMF(probs), nil
+}
+
+// poissonBinomialPMF runs the exact Poisson-binomial dynamic program over
+// the per-tuple probabilities. Entry k of the result is P(count = k). Shared
+// by the oracle and the columnar path: the DP is not a scan, so there is
+// nothing columnar about it, and sharing it keeps the cross-check focused on
+// the scans that differ.
+func poissonBinomialPMF(probs []float64) []float64 {
+	pmf := make([]float64, len(probs)+1)
 	pmf[0] = 1
-	for _, pt := range series {
-		q := pt.Value
+	for _, q := range probs {
 		for k := len(pmf) - 1; k >= 1; k-- {
 			pmf[k] = pmf[k]*(1-q) + pmf[k-1]*q
 		}
 		pmf[0] *= 1 - q
 	}
-	return pmf, nil
+	return pmf
 }
 
-// CountAtLeast returns P(count >= k) from the Poisson-binomial distribution
-// of ExceedanceCountDistribution.
-func CountAtLeast(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, k int) (float64, error) {
+// rowCountAtLeast is the row-at-a-time oracle for CountAtLeast.
+func rowCountAtLeast(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, k int) (float64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("%w: k=%d", ErrBadArg, k)
 	}
-	pmf, err := ExceedanceCountDistribution(p, tLo, tHi, lo, hi)
+	pmf, err := rowExceedanceCountDistribution(p, tLo, tHi, lo, hi)
 	if err != nil {
 		return 0, err
 	}
+	return pmfTailSum(pmf, k), nil
+}
+
+// pmfTailSum sums pmf[k:], clamped to 1 against rounding drift.
+func pmfTailSum(pmf []float64, k int) float64 {
 	if k >= len(pmf) {
-		return 0, nil
+		return 0
 	}
 	sum := 0.0
 	for i := k; i < len(pmf); i++ {
@@ -192,13 +196,8 @@ func CountAtLeast(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, k int) (
 	if sum > 1 {
 		sum = 1 // rounding guard
 	}
-	return sum, nil
+	return sum
 }
-
-// Point-query helpers: the single-timestamp consumers (range probability,
-// top-k, buckets) bound to a view table. Each resolves the timestamp through
-// the group index and evaluates on the zero-copy row span, so the hot server
-// endpoints never copy a tuple's rows just to read them.
 
 // atGroup runs fn on the row span of timestamp t, returning ErrNoRows when
 // the view has no tuple at t.
@@ -220,8 +219,8 @@ func atGroup(p *storage.ProbTable, t int64, fn func(rows []view.Row) error) erro
 	return nil
 }
 
-// RangeProbAt returns P(lo < R_t <= hi) for the tuple at timestamp t.
-func RangeProbAt(p *storage.ProbTable, t int64, lo, hi float64) (float64, error) {
+// rowRangeProbAt is the row-at-a-time oracle for RangeProbAt.
+func rowRangeProbAt(p *storage.ProbTable, t int64, lo, hi float64) (float64, error) {
 	var out float64
 	err := atGroup(p, t, func(rows []view.Row) error {
 		pr, err := RangeProb(rows, lo, hi)
@@ -231,8 +230,8 @@ func RangeProbAt(p *storage.ProbTable, t int64, lo, hi float64) (float64, error)
 	return out, err
 }
 
-// ExpectedAt returns the expected true value of the tuple at timestamp t.
-func ExpectedAt(p *storage.ProbTable, t int64) (float64, error) {
+// rowExpectedAt is the row-at-a-time oracle for ExpectedAt.
+func rowExpectedAt(p *storage.ProbTable, t int64) (float64, error) {
 	var out float64
 	err := atGroup(p, t, func(rows []view.Row) error {
 		e, err := Expected(rows)
@@ -242,10 +241,8 @@ func ExpectedAt(p *storage.ProbTable, t int64) (float64, error) {
 	return out, err
 }
 
-// TopKAt returns the k most probable Omega ranges of the tuple at timestamp
-// t, descending. The returned rows are copies (TopK sorts a scratch slice),
-// safe to retain.
-func TopKAt(p *storage.ProbTable, t int64, k int) ([]view.Row, error) {
+// rowTopKAt is the row-at-a-time oracle for TopKAt.
+func rowTopKAt(p *storage.ProbTable, t int64, k int) ([]view.Row, error) {
 	var out []view.Row
 	err := atGroup(p, t, func(rows []view.Row) error {
 		top, err := TopK(rows, k)
@@ -255,9 +252,8 @@ func TopKAt(p *storage.ProbTable, t int64, k int) ([]view.Row, error) {
 	return out, err
 }
 
-// BucketQueryAt runs the bucketed query (Fig. 1 rooms) on the tuple at
-// timestamp t.
-func BucketQueryAt(p *storage.ProbTable, t int64, buckets []Bucket) ([]BucketProb, error) {
+// rowBucketQueryAt is the row-at-a-time oracle for BucketQueryAt.
+func rowBucketQueryAt(p *storage.ProbTable, t int64, buckets []Bucket) ([]BucketProb, error) {
 	var out []BucketProb
 	err := atGroup(p, t, func(rows []view.Row) error {
 		ps, err := BucketQuery(rows, buckets)

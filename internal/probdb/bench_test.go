@@ -8,13 +8,18 @@ import (
 	"repro/internal/view"
 )
 
-// Benchmarks for the range aggregates: the indexed single-pass path
-// (ForEachGroup over the timestamp group index) against the pre-index
-// flat-scan baseline (full Times() scan, then per-timestamp binary search
-// over the raw row slice plus a row copy). The baseline below reproduces the
-// legacy accessor internals over a snapshot so the comparison measures the
-// storage-layout change, not lock or copy differences. Run with -benchmem:
-// the indexed path does ≥5x fewer allocations and one pass over the range.
+// Benchmarks for the range aggregates, three generations of the same scan:
+//
+//	columnar — the batch kernels over the struct-of-arrays columns (public
+//	           path since PR 7)
+//	indexed  — the PR 4 row-at-a-time path (ForEachGroup + per-tuple closure),
+//	           kept as the oracle in aggregate.go
+//	legacy   — the pre-index flat scan (full Times() walk, per-timestamp
+//	           binary search plus a row copy), reproduced inline below
+//
+// Each sub-benchmark reports rows/s over the 200k-row view so the CI bench
+// gate (cmd/benchgate) can pin the trajectory. Run with -benchmem: allocs/op
+// is part of the gated schema.
 
 const (
 	benchTuples = 25000
@@ -98,15 +103,34 @@ func flatProbSeries(rows []view.Row, tLo, tHi int64, lo, hi float64) ([]TimeSeri
 	return out, nil
 }
 
+// reportRowsPerSec attaches the gated throughput metric: total view rows
+// scanned per second of benchmark time.
+func reportRowsPerSec(b *testing.B) {
+	rows := float64(benchTuples*benchPerT) * float64(b.N)
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(rows/s, "rows/s")
+	}
+}
+
 func BenchmarkExpectedSeries(b *testing.B) {
 	p := benchView(b)
-	b.Run("indexed", func(b *testing.B) {
+	b.Run("columnar", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := ExpectedSeries(p, 0, benchTuples); err != nil {
 				b.Fatal(err)
 			}
 		}
+		reportRowsPerSec(b)
+	})
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rowExpectedSeries(p, 0, benchTuples); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRowsPerSec(b)
 	})
 	b.Run("legacy", func(b *testing.B) {
 		rows := p.SnapshotRows()
@@ -117,18 +141,29 @@ func BenchmarkExpectedSeries(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		reportRowsPerSec(b)
 	})
 }
 
 func BenchmarkProbSeries(b *testing.B) {
 	p := benchView(b)
-	b.Run("indexed", func(b *testing.B) {
+	b.Run("columnar", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := ProbSeries(p, 0, benchTuples, 2, 6); err != nil {
 				b.Fatal(err)
 			}
 		}
+		reportRowsPerSec(b)
+	})
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rowProbSeries(p, 0, benchTuples, 2, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRowsPerSec(b)
 	})
 	b.Run("legacy", func(b *testing.B) {
 		rows := p.SnapshotRows()
@@ -139,15 +174,55 @@ func BenchmarkProbSeries(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		reportRowsPerSec(b)
 	})
 }
 
+// BenchmarkExpectedCount and BenchmarkAnyInRange cover the scalar reducers
+// (no output series to build — pure scan cost).
+func BenchmarkExpectedCount(b *testing.B) {
+	p := benchView(b)
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ExpectedCount(p, 0, benchTuples, 2, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRowsPerSec(b)
+	})
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rowExpectedCount(p, 0, benchTuples, 2, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRowsPerSec(b)
+	})
+}
+
+func BenchmarkRangeProbAt(b *testing.B) {
+	p := benchView(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RangeProbAt(p, int64(1+i%benchTuples), 2, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestBenchPathsIdentical pins the acceptance criterion directly: over the
-// benchmark view the indexed and legacy scans return byte-identical series.
+// benchmark view the columnar, indexed and legacy scans return byte-identical
+// series.
 func TestBenchPathsIdentical(t *testing.T) {
 	p := benchView(t)
 	rows := p.SnapshotRows()
 	gotE, err := ExpectedSeries(p, 0, benchTuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowE, err := rowExpectedSeries(p, 0, benchTuples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,6 +231,10 @@ func TestBenchPathsIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	gotP, err := ProbSeries(p, 0, benchTuples, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowP, err := rowProbSeries(p, 0, benchTuples, 2, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +247,10 @@ func TestBenchPathsIdentical(t *testing.T) {
 	}
 	for i := range gotE {
 		if gotE[i] != wantE[i] || gotP[i] != wantP[i] {
-			t.Fatalf("index %d: indexed/legacy series diverge", i)
+			t.Fatalf("index %d: columnar/legacy series diverge", i)
+		}
+		if gotE[i] != rowE[i] || gotP[i] != rowP[i] {
+			t.Fatalf("index %d: columnar/indexed series diverge", i)
 		}
 	}
 }

@@ -1,0 +1,428 @@
+package probdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/view"
+)
+
+// Columnar batch kernels: the public aggregate and point-query entry points,
+// rewritten over the struct-of-arrays projection that storage.ProbTable
+// maintains next to its row slice. Each range aggregate is one
+// storage.RangeCols call — a single read-lock acquisition handing back the
+// group spans and the Lo/Hi/Prob column slices — and then a plain double
+// loop: groups outside, a branch-light column scan inside, with bounds
+// checks hoisted by reslicing and no per-row (or per-group) function-call
+// dispatch. Point helpers use the per-group form, ForEachGroupCols.
+//
+// Results are bit-identical to the row-at-a-time path in aggregate.go: the
+// kernels perform the same floating-point operations in the same order, they
+// just read operands from columns instead of 40-byte Row structs. The
+// zero-width point-mass semantics of RangeProb (a row with Hi == Lo counts
+// fully iff lo < Lo <= hi) carry over unchanged. The property tests and
+// FuzzColumnarKernels pin this equivalence, including matching errors.
+
+// errRange builds RangeProb's invalid-range error; shared so the columnar
+// kernels report word-for-word what the row kernels report.
+func errRange(lo, hi float64) error {
+	return fmt.Errorf("%w: range [%v, %v]", ErrBadArg, lo, hi)
+}
+
+// validRange reports whether (lo, hi] is a usable query range (ordered,
+// NaN-free). Hoisted out of the scan loops: the row path re-validates per
+// tuple inside RangeProb, the columnar path validates once per query.
+func validRange(lo, hi float64) bool {
+	return lo <= hi && !math.IsNaN(lo) && !math.IsNaN(hi)
+}
+
+// rangeProbCols is RangeProb over column slices: P(lo < R <= hi) for one
+// tuple whose Omega ranges are rlo[i], rhi[i] with mass prob[i]. Arguments
+// are pre-validated and the span is non-empty (a time group always holds at
+// least one row).
+func rangeProbCols(rlo, rhi, prob []float64, lo, hi float64) float64 {
+	total := 0.0
+	rhi = rhi[:len(rlo)]
+	prob = prob[:len(rlo)]
+	for i := range rlo {
+		rl, rh := rlo[i], rhi[i]
+		if rh == rl {
+			// Zero-width point mass: counts fully iff lo < rl <= hi.
+			if lo < rl && rl <= hi {
+				total += prob[i]
+			}
+			continue
+		}
+		// Manual min/max compile to CMOV; for the non-NaN operands both
+		// paths see (lo and hi are pre-validated) they agree with the
+		// math.Max/math.Min the row kernel uses, and a NaN row bound
+		// poisons the overlap identically on both paths.
+		overlapLo := rl
+		if lo > rl {
+			overlapLo = lo
+		}
+		overlapHi := rh
+		if hi < rh {
+			overlapHi = hi
+		}
+		if overlapHi <= overlapLo {
+			continue
+		}
+		if overlapLo == rl && overlapHi == rh {
+			// Row fully covered: frac is (rh-rl)/(rh-rl) == 1 exactly, so
+			// adding the mass outright is bit-identical and skips the
+			// division.
+			total += prob[i]
+			continue
+		}
+		frac := (overlapHi - overlapLo) / (rh - rl)
+		total += frac * prob[i]
+	}
+	return total
+}
+
+// expectedCols is Expected over column slices: probability-weighted range
+// midpoints, normalised by total mass.
+func expectedCols(rlo, rhi, prob []float64) (float64, error) {
+	num, den := 0.0, 0.0
+	rhi = rhi[:len(rlo)]
+	prob = prob[:len(rlo)]
+	for i := range rlo {
+		mid := (rlo[i] + rhi[i]) / 2
+		num += mid * prob[i]
+		den += prob[i]
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("%w: zero total probability", ErrBadArg)
+	}
+	return num / den, nil
+}
+
+// ExpectedSeries returns the expected true value at every timestamp of the
+// view within [tLo, tHi] — the model-based view abstraction of MauveDB
+// (reference [25]) recovered from the probabilistic database.
+func ExpectedSeries(p *storage.ProbTable, tLo, tHi int64) ([]TimeSeriesPoint, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	var out []TimeSeriesPoint
+	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		if len(groups) == 0 {
+			return nil
+		}
+		out = make([]TimeSeriesPoint, 0, len(groups))
+		for _, g := range groups {
+			end := g.Off + g.Len
+			v, err := expectedCols(c.Lo[g.Off:end], c.Hi[g.Off:end], c.Prob[g.Off:end])
+			if err != nil {
+				return err
+			}
+			out = append(out, TimeSeriesPoint{T: g.T, Value: v})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, ErrNoRows
+	}
+	return out, nil
+}
+
+// ProbSeries returns P(lo < R_t <= hi) at every timestamp of the view within
+// [tLo, tHi].
+func ProbSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]TimeSeriesPoint, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	var out []TimeSeriesPoint
+	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		if len(groups) == 0 {
+			return nil
+		}
+		// Argument validation sits behind the empty-range check on purpose:
+		// like the row path, a range with no tuples reports ErrNoRows even
+		// when lo/hi are malformed.
+		if !validRange(lo, hi) {
+			return errRange(lo, hi)
+		}
+		out = make([]TimeSeriesPoint, 0, len(groups))
+		for _, g := range groups {
+			end := g.Off + g.Len
+			q := rangeProbCols(c.Lo[g.Off:end], c.Hi[g.Off:end], c.Prob[g.Off:end], lo, hi)
+			out = append(out, TimeSeriesPoint{T: g.T, Value: q})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, ErrNoRows
+	}
+	return out, nil
+}
+
+// scanProbs runs one columnar pass over [tLo, tHi], computing each tuple's
+// P(lo < R_t <= hi) and handing it to reduce; a false return stops the scan
+// early (the reducer's result is decided). It reports the number of tuples
+// visited before the stop — zero means ErrNoRows territory. Shared scan
+// under the zero-allocation reducers ExpectedCount, AnyInRange, AllInRange.
+func scanProbs(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, reduce func(q float64) bool) (int, error) {
+	if p == nil {
+		return 0, fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	n := 0
+	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		if len(groups) == 0 {
+			return nil
+		}
+		if !validRange(lo, hi) {
+			return errRange(lo, hi)
+		}
+		for _, g := range groups {
+			end := g.Off + g.Len
+			q := rangeProbCols(c.Lo[g.Off:end], c.Hi[g.Off:end], c.Prob[g.Off:end], lo, hi)
+			n++
+			if !reduce(q) {
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, ErrNoRows
+	}
+	return n, nil
+}
+
+// probsOver collects the per-tuple probabilities P(lo < R_t <= hi) over
+// [tLo, tHi] for the Poisson-binomial consumers, which need the whole
+// vector. An empty result means no tuples.
+func probsOver(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]float64, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	var out []float64
+	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		if len(groups) == 0 {
+			return nil
+		}
+		if !validRange(lo, hi) {
+			return errRange(lo, hi)
+		}
+		out = make([]float64, 0, len(groups))
+		for _, g := range groups {
+			end := g.Off + g.Len
+			out = append(out, rangeProbCols(c.Lo[g.Off:end], c.Hi[g.Off:end], c.Prob[g.Off:end], lo, hi))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, ErrNoRows
+	}
+	return out, nil
+}
+
+// ExpectedCount returns the expected number of timestamps in [tLo, tHi]
+// whose true value lies in (lo, hi]: the sum of per-tuple probabilities
+// (linearity of expectation, no independence needed).
+func ExpectedCount(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+	sum := 0.0
+	if _, err := scanProbs(p, tLo, tHi, lo, hi, func(q float64) bool {
+		sum += q
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// AnyInRange returns P(at least one R_t in (lo, hi]) over [tLo, tHi] under
+// tuple independence: 1 - prod(1 - p_t).
+func AnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+	// Work in log space to stay accurate when many tuples are involved.
+	logNone, certain := 0.0, false
+	if _, err := scanProbs(p, tLo, tHi, lo, hi, func(q float64) bool {
+		if 1-q <= 0 {
+			certain = true // a certain tuple decides the disjunction
+			return false
+		}
+		logNone += math.Log(1 - q)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	if certain {
+		return 1, nil
+	}
+	return 1 - math.Exp(logNone), nil
+}
+
+// AllInRange returns P(every R_t in (lo, hi]) over [tLo, tHi] under tuple
+// independence: prod(p_t).
+func AllInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
+	logAll, impossible := 0.0, false
+	if _, err := scanProbs(p, tLo, tHi, lo, hi, func(q float64) bool {
+		if q <= 0 {
+			impossible = true // an impossible tuple decides the conjunction
+			return false
+		}
+		logAll += math.Log(q)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	if impossible {
+		return 0, nil
+	}
+	return math.Exp(logAll), nil
+}
+
+// ExceedanceCountDistribution returns the probability mass function of the
+// number of timestamps in [tLo, tHi] whose value lies in (lo, hi], computed
+// by the exact Poisson-binomial dynamic program over the per-tuple
+// probabilities. Entry k of the result is P(count = k).
+func ExceedanceCountDistribution(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]float64, error) {
+	probs, err := probsOver(p, tLo, tHi, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return poissonBinomialPMF(probs), nil
+}
+
+// CountAtLeast returns P(count >= k) from the Poisson-binomial distribution
+// of ExceedanceCountDistribution.
+func CountAtLeast(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, k int) (float64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("%w: k=%d", ErrBadArg, k)
+	}
+	pmf, err := ExceedanceCountDistribution(p, tLo, tHi, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return pmfTailSum(pmf, k), nil
+}
+
+// Point-query helpers: the single-timestamp consumers behind the server's
+// /rangeprob, /topk and /buckets endpoints, bound to a view table. Each
+// resolves the timestamp through the group index and evaluates on the
+// zero-copy column spans.
+
+// atGroupCols runs fn on the columnar span of timestamp t, returning
+// ErrNoRows when the view has no tuple at t.
+func atGroupCols(p *storage.ProbTable, t int64, fn func(g storage.GroupCols) error) error {
+	if p == nil {
+		return fmt.Errorf("%w: nil view", ErrBadArg)
+	}
+	found := false
+	err := p.ForEachGroupCols(t, t, func(g storage.GroupCols) error {
+		found = true
+		return fn(g)
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNoRows
+	}
+	return nil
+}
+
+// RangeProbAt returns P(lo < R_t <= hi) for the tuple at timestamp t.
+func RangeProbAt(p *storage.ProbTable, t int64, lo, hi float64) (float64, error) {
+	var out float64
+	err := atGroupCols(p, t, func(g storage.GroupCols) error {
+		if !validRange(lo, hi) {
+			return errRange(lo, hi)
+		}
+		out = rangeProbCols(g.Lo, g.Hi, g.Prob, lo, hi)
+		return nil
+	})
+	return out, err
+}
+
+// ExpectedAt returns the expected true value of the tuple at timestamp t.
+func ExpectedAt(p *storage.ProbTable, t int64) (float64, error) {
+	var out float64
+	err := atGroupCols(p, t, func(g storage.GroupCols) error {
+		e, err := expectedCols(g.Lo, g.Hi, g.Prob)
+		out = e
+		return err
+	})
+	return out, err
+}
+
+// TopKAt returns the k most probable Omega ranges of the tuple at timestamp
+// t, descending (ties broken by lambda). Selection runs over the Prob
+// column; only the k winning rows are materialised as copies, safe to
+// retain.
+func TopKAt(p *storage.ProbTable, t int64, k int) ([]view.Row, error) {
+	var out []view.Row
+	err := atGroupCols(p, t, func(g storage.GroupCols) error {
+		if k <= 0 {
+			return fmt.Errorf("%w: k=%d", ErrBadArg, k)
+		}
+		n := len(g.Prob)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ia, ib := idx[a], idx[b]
+			if g.Prob[ia] != g.Prob[ib] {
+				return g.Prob[ia] > g.Prob[ib]
+			}
+			return g.Rows[ia].Lambda < g.Rows[ib].Lambda
+		})
+		m := k
+		if m > n {
+			m = n
+		}
+		out = make([]view.Row, m)
+		for i := 0; i < m; i++ {
+			out[i] = g.Rows[idx[i]]
+		}
+		return nil
+	})
+	return out, err
+}
+
+// BucketQueryAt runs the bucketed query (Fig. 1 rooms) on the tuple at
+// timestamp t: one column scan per bucket, results descending by
+// probability (ties broken by name).
+func BucketQueryAt(p *storage.ProbTable, t int64, buckets []Bucket) ([]BucketProb, error) {
+	var out []BucketProb
+	err := atGroupCols(p, t, func(g storage.GroupCols) error {
+		if len(buckets) == 0 {
+			return fmt.Errorf("%w: no buckets", ErrBadArg)
+		}
+		out = make([]BucketProb, 0, len(buckets))
+		for _, b := range buckets {
+			if !(b.Lo <= b.Hi) {
+				return fmt.Errorf("%w: bucket %q [%v, %v]", ErrBadArg, b.Name, b.Lo, b.Hi)
+			}
+			out = append(out, BucketProb{Bucket: b, Prob: rangeProbCols(g.Lo, g.Hi, g.Prob, b.Lo, b.Hi)})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Prob != out[j].Prob {
+				return out[i].Prob > out[j].Prob
+			}
+			return out[i].Bucket.Name < out[j].Bucket.Name
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

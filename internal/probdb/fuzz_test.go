@@ -2,8 +2,10 @@ package probdb
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"repro/internal/storage"
 	"repro/internal/view"
 )
 
@@ -96,6 +98,101 @@ func FuzzExpected(f *testing.F) {
 		skipOutsideDomain(t, rows)
 		v, err := Expected(rows)
 		finiteOrErr(t, "Expected", v, err)
+	})
+}
+
+// FuzzColumnarKernels drives the columnar batch kernels and the
+// row-at-a-time oracle with the same fuzzed table and query window; any
+// divergence in value or error shape is a bug in one of the two scans. The
+// table is assembled from two fuzzed tuples (including degenerate rows) and
+// shifted onto timestamps 1 and 2; query windows and value ranges come
+// untouched from the fuzzer, so empty, inverted and NaN-adjacent queries are
+// all in scope.
+func FuzzColumnarKernels(f *testing.F) {
+	f.Add(uint8(3), 0.0, 1.0, 0.5, 1.0, 1.0, 0.5, uint8(2), 2.0, 0.0, 0.4, int8(0), int8(3), -1.0, 2.0)
+	f.Add(uint8(2), 2.0, 0.0, 1.0, 0.0, 0.5, 0.2, uint8(4), 5.0, -1.0, 0.3, int8(2), int8(1), 0.0, 5.0) // inverted window
+	f.Add(uint8(1), 0.0, 1e9, 1.0, 0.0, 0.0, 0.0, uint8(1), 1.0, 0.0, 0.0, int8(1), int8(2), 2.0, 1.0)  // inverted range
+	f.Fuzz(func(t *testing.T, n1 uint8, lo1, w1, p1, lo2, w2, p2 float64,
+		n2 uint8, lo3, w3, p3 float64, tLo8, tHi8 int8, qlo, qhi float64) {
+		g1 := fuzzRows(n1, lo1, w1, p1, lo2, w2, p2)
+		g2 := fuzzRows(n2, lo3, w3, p3, lo1, w2, p1)
+		skipOutsideDomain(t, g1)
+		skipOutsideDomain(t, g2)
+		var rows []view.Row
+		rows = append(rows, g1...)
+		for _, r := range g2 {
+			r.T = 2
+			rows = append(rows, r)
+		}
+		p := &storage.ProbTable{Name: "pv", Rows: rows}
+		tLo, tHi := int64(tLo8), int64(tHi8)
+
+		gotE, errE := ExpectedSeries(p, tLo, tHi)
+		wantE, werrE := rowExpectedSeries(p, tLo, tHi)
+		if (errE != nil) != (werrE != nil) || !reflect.DeepEqual(gotE, wantE) {
+			t.Fatalf("ExpectedSeries: columnar (%v, %v) vs oracle (%v, %v)", gotE, errE, wantE, werrE)
+		}
+
+		gotP, errP := ProbSeries(p, tLo, tHi, qlo, qhi)
+		wantP, werrP := rowProbSeries(p, tLo, tHi, qlo, qhi)
+		if (errP != nil) != (werrP != nil) || !reflect.DeepEqual(gotP, wantP) {
+			t.Fatalf("ProbSeries: columnar (%v, %v) vs oracle (%v, %v)", gotP, errP, wantP, werrP)
+		}
+
+		gotC, errC := ExpectedCount(p, tLo, tHi, qlo, qhi)
+		wantC, werrC := rowExpectedCount(p, tLo, tHi, qlo, qhi)
+		if (errC != nil) != (werrC != nil) || gotC != wantC {
+			t.Fatalf("ExpectedCount: columnar (%v, %v) vs oracle (%v, %v)", gotC, errC, wantC, werrC)
+		}
+
+		gotAny, errAny := AnyInRange(p, tLo, tHi, qlo, qhi)
+		wantAny, werrAny := rowAnyInRange(p, tLo, tHi, qlo, qhi)
+		if (errAny != nil) != (werrAny != nil) || gotAny != wantAny {
+			t.Fatalf("AnyInRange: columnar (%v, %v) vs oracle (%v, %v)", gotAny, errAny, wantAny, werrAny)
+		}
+
+		gotAll, errAll := AllInRange(p, tLo, tHi, qlo, qhi)
+		wantAll, werrAll := rowAllInRange(p, tLo, tHi, qlo, qhi)
+		if (errAll != nil) != (werrAll != nil) || gotAll != wantAll {
+			t.Fatalf("AllInRange: columnar (%v, %v) vs oracle (%v, %v)", gotAll, errAll, wantAll, werrAll)
+		}
+
+		gotPMF, errPMF := ExceedanceCountDistribution(p, tLo, tHi, qlo, qhi)
+		wantPMF, werrPMF := rowExceedanceCountDistribution(p, tLo, tHi, qlo, qhi)
+		if (errPMF != nil) != (werrPMF != nil) || !reflect.DeepEqual(gotPMF, wantPMF) {
+			t.Fatalf("ExceedanceCountDistribution: columnar (%v, %v) vs oracle (%v, %v)", gotPMF, errPMF, wantPMF, werrPMF)
+		}
+
+		at := tLo
+		gotAt, errAt := RangeProbAt(p, at, qlo, qhi)
+		wantAt, werrAt := rowRangeProbAt(p, at, qlo, qhi)
+		if (errAt != nil) != (werrAt != nil) || gotAt != wantAt {
+			t.Fatalf("RangeProbAt: columnar (%v, %v) vs oracle (%v, %v)", gotAt, errAt, wantAt, werrAt)
+		}
+
+		gotExp, errExp := ExpectedAt(p, at)
+		wantExp, werrExp := rowExpectedAt(p, at)
+		if (errExp != nil) != (werrExp != nil) || gotExp != wantExp {
+			t.Fatalf("ExpectedAt: columnar (%v, %v) vs oracle (%v, %v)", gotExp, errExp, wantExp, werrExp)
+		}
+
+		gotTop, errTop := TopKAt(p, at, int(n1%4)+1)
+		wantTop, werrTop := rowTopKAt(p, at, int(n1%4)+1)
+		if (errTop != nil) != (werrTop != nil) || !reflect.DeepEqual(gotTop, wantTop) {
+			t.Fatalf("TopKAt: columnar (%v, %v) vs oracle (%v, %v)", gotTop, errTop, wantTop, werrTop)
+		}
+
+		buckets := []Bucket{
+			{Name: "a", Lo: math.Min(qlo, qhi), Hi: math.Max(qlo, qhi)},
+			{Name: "b", Lo: lo1, Hi: lo1},
+		}
+		if !math.IsNaN(qlo) && !math.IsNaN(qhi) {
+			gotB, errB := BucketQueryAt(p, at, buckets)
+			wantB, werrB := rowBucketQueryAt(p, at, buckets)
+			if (errB != nil) != (werrB != nil) || !reflect.DeepEqual(gotB, wantB) {
+				t.Fatalf("BucketQueryAt: columnar (%v, %v) vs oracle (%v, %v)", gotB, errB, wantB, werrB)
+			}
+		}
 	})
 }
 

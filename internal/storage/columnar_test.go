@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/view"
+)
+
+// Tests for the columnar (struct-of-arrays) projection: the columns must
+// mirror Rows exactly through every path that mutates the table — online
+// appends, direct Rows assignment, wholesale replacement, lazy loads — and
+// the two columnar iterators must hand out spans consistent with
+// ForEachGroup.
+
+// checkColumnsMirrorRows walks the whole table through RangeCols and
+// verifies every column entry against the row it projects.
+func checkColumnsMirrorRows(t *testing.T, p *ProbTable) {
+	t.Helper()
+	rows := p.SnapshotRows()
+	var minT, maxT int64 = -1 << 62, 1 << 62
+	err := p.RangeCols(minT, maxT, func(groups []TimeGroup, c Cols) error {
+		if len(c.T) != len(rows) || len(c.Lo) != len(rows) || len(c.Hi) != len(rows) || len(c.Prob) != len(rows) {
+			t.Fatalf("column lengths %d/%d/%d/%d, want %d rows",
+				len(c.T), len(c.Lo), len(c.Hi), len(c.Prob), len(rows))
+		}
+		for i, r := range rows {
+			if c.T[i] != r.T || c.Lo[i] != r.Lo || c.Hi[i] != r.Hi || c.Prob[i] != r.Prob {
+				t.Fatalf("column %d = (%d, %v, %v, %v), row = %+v",
+					i, c.T[i], c.Lo[i], c.Hi[i], c.Prob[i], r)
+			}
+		}
+		n := 0
+		for _, g := range groups {
+			n += g.Len
+		}
+		if n != len(rows) {
+			t.Fatalf("groups cover %d rows, want %d", n, len(rows))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomRows(rng *rand.Rand, tuples int) []view.Row {
+	var rows []view.Row
+	t := int64(0)
+	for i := 0; i < tuples; i++ {
+		t += 1 + int64(rng.Intn(3))
+		n := 1 + rng.Intn(4)
+		for l := 0; l < n; l++ {
+			lo := rng.Float64() * 10
+			hi := lo + rng.Float64()
+			if rng.Intn(6) == 0 {
+				hi = lo // zero-width point mass
+			}
+			rows = append(rows, view.Row{T: t, Lambda: l - n/2, Lo: lo, Hi: hi, Prob: rng.Float64()})
+		}
+	}
+	return rows
+}
+
+func TestColumnsMirrorRowsIncrementalAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := &ProbTable{Name: "pv"}
+	for batch := 0; batch < 20; batch++ {
+		rows := randomRows(rng, 1+rng.Intn(5))
+		// Shift each batch past the previous one to keep timestamps ascending.
+		var last int64
+		if lt, ok := p.LastTime(); ok {
+			last = lt
+		}
+		for i := range rows {
+			rows[i].T += last
+		}
+		if err := p.AppendRows(rows); err != nil {
+			t.Fatal(err)
+		}
+		checkColumnsMirrorRows(t, p)
+	}
+}
+
+func TestColumnsAfterDirectAssignmentAndReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := &ProbTable{Name: "pv", Rows: randomRows(rng, 10)}
+	checkColumnsMirrorRows(t, p)
+
+	// Wholesale replacement (different backing array) must rebuild columns.
+	p.Rows = randomRows(rng, 7)
+	checkColumnsMirrorRows(t, p)
+
+	// Shrink must rebuild too.
+	p.Rows = p.Rows[:len(p.Rows)/2]
+	checkColumnsMirrorRows(t, p)
+}
+
+func TestColumnsAfterLazyLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := randomRows(rng, 8)
+	p := &ProbTable{Name: "pv"}
+	p.SetLoader(len(rows), func() ([]view.Row, error) {
+		out := make([]view.Row, len(rows))
+		copy(out, rows)
+		return out, nil
+	})
+	if got := p.NumRows(); got != len(rows) {
+		t.Fatalf("NumRows before load = %d, want %d", got, len(rows))
+	}
+	checkColumnsMirrorRows(t, p)
+
+	// A failed load surfaces through the columnar iterators like ForEachGroup.
+	bad := &ProbTable{Name: "pv2"}
+	wantErr := errors.New("segment gone")
+	bad.SetLoader(3, func() ([]view.Row, error) { return nil, wantErr })
+	err := bad.RangeCols(0, 100, func([]TimeGroup, Cols) error { return nil })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("RangeCols on failed load: %v", err)
+	}
+	err = bad.ForEachGroupCols(0, 100, func(GroupCols) error { return nil })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("ForEachGroupCols on failed load: %v", err)
+	}
+}
+
+// TestForEachGroupColsMatchesForEachGroup pins the two iterators against
+// each other: same groups, and per group the column spans mirror the row
+// span element-wise.
+func TestForEachGroupColsMatchesForEachGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := &ProbTable{Name: "pv", Rows: randomRows(rng, 25)}
+	times := p.Times()
+	spans := map[int64][]view.Row{}
+	if err := p.ForEachGroup(0, 1<<62, func(tt int64, rows []view.Row) error {
+		cp := make([]view.Row, len(rows))
+		copy(cp, rows)
+		spans[tt] = cp
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	if err := p.ForEachGroupCols(0, 1<<62, func(g GroupCols) error {
+		seen++
+		want := spans[g.T]
+		if len(g.Lo) != len(want) || len(g.Hi) != len(want) || len(g.Prob) != len(want) || len(g.Rows) != len(want) {
+			t.Fatalf("t=%d: span lengths diverge", g.T)
+		}
+		for i, r := range want {
+			if g.Lo[i] != r.Lo || g.Hi[i] != r.Hi || g.Prob[i] != r.Prob || g.Rows[i] != r {
+				t.Fatalf("t=%d row %d: columns (%v, %v, %v) vs row %+v", g.T, i, g.Lo[i], g.Hi[i], g.Prob[i], r)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(times) {
+		t.Fatalf("visited %d groups, want %d", seen, len(times))
+	}
+
+	// Sub-range iteration agrees with GroupsRange.
+	mid := times[len(times)/2]
+	var got []int64
+	if err := p.ForEachGroupCols(mid, 1<<62, func(g GroupCols) error {
+		got = append(got, g.T)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := p.GroupsRange(mid, 1<<62)
+	if len(got) != len(want) {
+		t.Fatalf("sub-range visited %d groups, want %d", len(got), len(want))
+	}
+	for i, g := range want {
+		if got[i] != g.T {
+			t.Fatalf("sub-range group %d: t=%d, want %d", i, got[i], g.T)
+		}
+	}
+}
+
+// TestColumnsUnderConcurrentAppend hammers the columnar readers while a
+// writer appends; under -race this pins the locking, and every observed
+// column span must be internally consistent with its row span.
+func TestColumnsUnderConcurrentAppend(t *testing.T) {
+	p := &ProbTable{Name: "pv"}
+	const tuples = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 1; i <= tuples; i++ {
+			p.AppendRows([]view.Row{
+				{T: int64(i), Lambda: -1, Lo: float64(i), Hi: float64(i) + 1, Prob: 0.5},
+				{T: int64(i), Lambda: 0, Lo: float64(i) + 1, Hi: float64(i) + 2, Prob: 0.5},
+			})
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := p.ForEachGroupCols(0, tuples, func(g GroupCols) error {
+					if len(g.Lo) != 2 || len(g.Rows) != 2 {
+						t.Errorf("t=%d: torn group of %d rows", g.T, len(g.Rows))
+						return nil
+					}
+					if g.Lo[0] != float64(g.T) || g.Prob[0] != 0.5 || g.Rows[1].Lambda != 0 {
+						t.Errorf("t=%d: columns diverge from rows", g.T)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	checkColumnsMirrorRows(t, p)
+}

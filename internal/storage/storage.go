@@ -95,6 +95,15 @@ type RawTable struct {
 // accessors binary-search the index (O(log T) in the number of tuples, not
 // rows) and the ForEachGroup iterator walks it in one pass, handing out
 // zero-copy row spans.
+//
+// The table also maintains a columnar (struct-of-arrays) projection of Rows:
+// parallel slices colT/colLo/colHi/colProb with colLo[i] == Rows[i].Lo and so
+// on. The columns are maintained in lockstep with the group index — extended
+// incrementally on append, rebuilt whenever the index is rebuilt — and are
+// what the batch aggregate kernels in internal/probdb scan: three contiguous
+// float64 streams instead of 40-byte Row structs, no per-row dispatch.
+// ForEachGroupCols and RangeCols expose them under the same locking contract
+// as ForEachGroup.
 type ProbTable struct {
 	Name       string
 	Source     string // raw table the view was derived from
@@ -113,6 +122,13 @@ type ProbTable struct {
 	groups  []TimeGroup
 	indexed int
 	head    *view.Row
+
+	// Columnar projection of Rows[:indexed], maintained in lockstep with
+	// groups by extendIndex: colT[i], colLo[i], colHi[i], colProb[i] mirror
+	// Rows[i]. The batch kernels scan these instead of the row structs.
+	colT         []int64
+	colLo, colHi []float64
+	colProb      []float64
 
 	// logger, when set, receives every append before it is applied.
 	// Attached while the table sits in a logged catalog, detached on Drop.
@@ -143,6 +159,7 @@ func (p *ProbTable) SetLoader(n int, load RowsLoader) {
 	p.pending = n
 	p.loadErr = nil
 	p.groups, p.indexed, p.head = nil, 0, nil
+	p.colT, p.colLo, p.colHi, p.colProb = nil, nil, nil, nil
 }
 
 // LoadErr reports a failed lazy materialisation. Accessors on a table in
@@ -174,12 +191,12 @@ func (p *ProbTable) indexStale() bool {
 	return p.load != nil || p.indexed != len(p.Rows) || (p.indexed > 0 && p.head != &p.Rows[0])
 }
 
-// extendIndex catches the group index up with Rows. Caller holds the write
-// lock. Appends are incremental: only rows past the indexed watermark are
-// visited, so maintaining the index during online ingest is O(batch); a
-// shrink, a backing-array change (growth realloc or wholesale replacement)
-// triggers a full rebuild — the same linear cost the reallocation itself
-// just paid.
+// extendIndex catches the group index and the columnar projection up with
+// Rows. Caller holds the write lock. Appends are incremental: only rows past
+// the indexed watermark are visited, so maintaining index and columns during
+// online ingest is O(batch); a shrink or a backing-array change (growth
+// realloc or wholesale replacement) triggers a full rebuild — the same
+// linear cost the reallocation itself just paid.
 func (p *ProbTable) extendIndex() {
 	if load := p.load; load != nil {
 		// Materialise the pending lazy load exactly once; a failure is
@@ -195,9 +212,15 @@ func (p *ProbTable) extendIndex() {
 	}
 	if p.indexed > len(p.Rows) || (p.indexed > 0 && p.head != &p.Rows[0]) {
 		p.groups, p.indexed = nil, 0
+		p.colT, p.colLo, p.colHi, p.colProb = p.colT[:0], p.colLo[:0], p.colHi[:0], p.colProb[:0]
 	}
 	for i := p.indexed; i < len(p.Rows); i++ {
-		t := p.Rows[i].T
+		r := &p.Rows[i]
+		t := r.T
+		p.colT = append(p.colT, t)
+		p.colLo = append(p.colLo, r.Lo)
+		p.colHi = append(p.colHi, r.Hi)
+		p.colProb = append(p.colProb, r.Prob)
 		if n := len(p.groups); n > 0 && p.groups[n-1].T == t {
 			p.groups[n-1].Len++
 		} else {
@@ -395,6 +418,76 @@ func (p *ProbTable) ForEachGroup(tLo, tHi int64, fn func(t int64, rows []view.Ro
 		}
 	}
 	return nil
+}
+
+// GroupCols is the columnar (struct-of-arrays) projection of one timestamp's
+// rows: Lo[i], Hi[i], Prob[i] describe the tuple's i-th Omega range, in the
+// same order as the row layout. Rows is the identical span in row form, for
+// consumers that also need per-row identity (Lambda). All slices are
+// zero-copy views of the table's backing arrays.
+type GroupCols struct {
+	T            int64
+	Lo, Hi, Prob []float64
+	Rows         []view.Row
+}
+
+// Cols is the whole-table columnar projection handed to RangeCols: parallel
+// slices over every row of the table, addressed through TimeGroup spans
+// (Lo[g.Off : g.Off+g.Len] are the lows of group g, and so on).
+type Cols struct {
+	T            []int64
+	Lo, Hi, Prob []float64
+	Rows         []view.Row
+}
+
+// ForEachGroupCols is ForEachGroup in columnar form: fn is called once per
+// distinct timestamp in [tLo, tHi], ascending, with the timestamp's rows as
+// struct-of-arrays column slices. Same contract as ForEachGroup: one indexed
+// pass under a single read lock, spans valid only for the duration of the
+// call, no callbacks into the table.
+func (p *ProbTable) ForEachGroupCols(tLo, tHi int64, fn func(g GroupCols) error) error {
+	p.rlockIndexed()
+	defer p.mu.RUnlock()
+	if p.loadErr != nil {
+		return fmt.Errorf("view %q: %w", p.Name, p.loadErr)
+	}
+	lo, hi := p.groupSpan(tLo, tHi)
+	for _, g := range p.groups[lo:hi] {
+		end := g.Off + g.Len
+		gc := GroupCols{
+			T:    g.T,
+			Lo:   p.colLo[g.Off:end:end],
+			Hi:   p.colHi[g.Off:end:end],
+			Prob: p.colProb[g.Off:end:end],
+			Rows: p.Rows[g.Off:end:end],
+		}
+		if err := fn(gc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RangeCols is the bulk form of ForEachGroupCols: fn is called exactly once,
+// under the read lock, with the group-index entries for [tLo, tHi] (possibly
+// empty) and the whole-table columns. Batch kernels use it to run their
+// entire double loop — groups outside, column scan inside — with zero
+// per-group dispatch. The slices are valid only for the duration of the
+// call; fn must not retain or mutate them, nor call back into the table.
+func (p *ProbTable) RangeCols(tLo, tHi int64, fn func(groups []TimeGroup, c Cols) error) error {
+	p.rlockIndexed()
+	defer p.mu.RUnlock()
+	if p.loadErr != nil {
+		return fmt.Errorf("view %q: %w", p.Name, p.loadErr)
+	}
+	lo, hi := p.groupSpan(tLo, tHi)
+	return fn(p.groups[lo:hi], Cols{
+		T:    p.colT,
+		Lo:   p.colLo,
+		Hi:   p.colHi,
+		Prob: p.colProb,
+		Rows: p.Rows,
+	})
 }
 
 // DB is the catalog.
