@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"repro/internal/density"
+	"repro/internal/obs"
 	"repro/internal/stat"
 )
 
@@ -219,10 +220,13 @@ func (p *Processor) Step(rt float64) (*StepResult, error) {
 // commit so a downstream failure cannot leave the model window advanced past
 // the data that was actually stored.
 func (p *Processor) Prepare(rt float64) (*StepResult, func(), error) {
+	mspan := obs.StartSpan(metModelStage)
 	inf, err := p.cfg.Metric.Infer(p.window)
+	mspan.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	defer obs.StartSpan(metCleanStage).End()
 	res := &StepResult{Index: p.steps, Raw: rt, Inference: inf}
 
 	outOfBounds := rt > inf.UB || rt < inf.LB || math.IsNaN(rt) || math.IsInf(rt, 0)

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/clean"
 	"repro/internal/density"
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sigmacache"
 	"repro/internal/storage"
@@ -196,8 +198,18 @@ func (e *Engine) finishExec(res *query.Result, err error) (*query.Result, error)
 		e.execCache.Hits += st.Hits
 		e.execCache.Misses += st.Misses
 		e.mu.Unlock()
+		metCachesDiscarded.Inc()
 	}
 	return res, nil
+}
+
+// RecoveryStats reports what the durable store replayed when the engine
+// opened; ok is false for a purely in-memory engine.
+func (e *Engine) RecoveryStats() (stats durable.RecoveryStats, ok bool) {
+	if e.store == nil {
+		return durable.RecoveryStats{}, false
+	}
+	return e.store.RecoveryStats(), true
 }
 
 // View fetches a materialised probabilistic view.
@@ -406,6 +418,9 @@ type StreamInfo struct {
 	Metric   string
 	Steps    int64
 	Cache    sigmacache.Stats
+	// Shards is the per-shard breakdown of Cache (nil when the stream has
+	// no sigma-cache attached).
+	Shards []sigmacache.ShardStat
 }
 
 // Streams lists the open streams sorted by source table.
@@ -424,6 +439,7 @@ func (e *Engine) Streams() []StreamInfo {
 			Metric:   s.metric.Name(),
 			Steps:    s.Steps(),
 			Cache:    s.CacheStats(),
+			Shards:   s.ShardStats(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
@@ -488,33 +504,43 @@ func (s *Stream) Step(p timeseries.Point) ([]view.Row, error) {
 // failed step later retracts, and the view is always a subset of the raw
 // table.
 func (s *Stream) StepDetailed(p timeseries.Point) (*StepResult, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("%w: stream on %q is closed", ErrBadArg, s.cfg.Source)
 	}
 	if p.T <= s.lastT {
+		metOutOfOrder.Inc()
 		return nil, fmt.Errorf("%w: t=%d after t=%d", ErrOutOfOrder, p.T, s.lastT)
 	}
 	out, commit, err := s.prepare(p)
 	if err != nil {
+		metStepErrors.Inc()
 		return nil, err
 	}
 	// Raw point and view rows commit as one unit — on a durable engine a
 	// single WAL record, written before this returns, so an acknowledged
 	// step is never half-recovered.
+	cspan := obs.StartSpan(metCommitStage)
 	if err := s.engine.db.CommitStep(s.cfg.Source, p, s.table, out.Rows); err != nil {
+		cspan.End()
 		// The stream's own watermark starts at the table's last timestamp,
 		// so an unsorted rejection here means a concurrent direct write
 		// moved the raw table ahead — a conflict, not a malformed request.
 		if errors.Is(err, timeseries.ErrUnsorted) {
+			metOutOfOrder.Inc()
 			return nil, fmt.Errorf("%w: %v", ErrOutOfOrder, err)
 		}
+		metStepErrors.Inc()
 		return nil, err
 	}
+	cspan.End()
 	commit()
 	s.lastT = p.T
 	s.steps++
+	metSteps.Inc()
+	obs.ObserveSince(metStepSeconds, start)
 	return out, nil
 }
 
@@ -529,9 +555,11 @@ func (s *Stream) prepare(p timeseries.Point) (*StepResult, func(), error) {
 			return nil, nil, err
 		}
 		inf := st.Inference
+		vspan := obs.StartSpan(metViewStage)
 		rows, err := s.builder.GenerateOne(view.Tuple{
 			T: p.T, RHat: inf.RHat, Sigma: inf.Sigma, Dist: inf.Dist,
 		})
+		vspan.End()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -581,6 +609,15 @@ func (s *Stream) CacheStats() sigmacache.Stats {
 		return sigmacache.Stats{}
 	}
 	return s.cache.Stats()
+}
+
+// ShardStats reports the per-shard sigma-cache breakdown (nil when no
+// cache is attached).
+func (s *Stream) ShardStats() []sigmacache.ShardStat {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache.ShardStats()
 }
 
 // MetricName returns the active metric's name.

@@ -1,0 +1,28 @@
+package core
+
+import "repro/internal/obs"
+
+// Ingest pipeline metrics. The model/clean/view stage histograms live in
+// the packages that run those stages (internal/view, internal/clean); the
+// engine contributes the commit stage, the whole-step latency, and the
+// step outcome counters — together one scrape decomposes a Step into
+// clean → model → view → WAL commit.
+var (
+	metSteps = obs.Default.Counter("tspdb_ingest_steps_total",
+		"Online ingest steps committed.")
+	metStepErrors = obs.Default.Counter("tspdb_ingest_errors_total",
+		"Online ingest steps that failed (excluding out-of-order rejections).")
+	metOutOfOrder = obs.Default.Counter("tspdb_ingest_out_of_order_total",
+		"Online ingest steps rejected for a stale timestamp (HTTP 409).")
+	metStepSeconds = obs.Default.Histogram("tspdb_ingest_step_seconds",
+		"Whole online ingest step latency (prepare through commit).", obs.DurationBuckets)
+	metCommitStage = obs.Default.Histogram("tspdb_ingest_commit_seconds",
+		"Catalog + WAL commit time per online ingest step.", obs.DurationBuckets)
+	metViewStage = obs.Default.Histogram("tspdb_ingest_view_seconds",
+		"Omega-view row generation time per online ingest step.", obs.DurationBuckets)
+	// metCachesDiscarded counts short-lived build caches evicted with their
+	// builder after an Exec'd CREATE VIEW ... CACHE — the ladder itself
+	// never evicts entries, so this is the engine's cache-eviction story.
+	metCachesDiscarded = obs.Default.Counter("tspdb_sigma_caches_discarded_total",
+		"Exec-attached sigma-caches discarded after their view build.")
+)

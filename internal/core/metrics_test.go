@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+	"repro/internal/view"
+)
+
+// TestIngestStageMetrics steps an online stream and checks that the ingest
+// pipeline's metrics advance coherently: one step counter tick and one
+// whole-step/model/view/commit observation per accepted point, and the
+// out-of-order counter (not the step counter) for rejected points. Handles
+// are fetched through the get-or-create registry, so they are the same
+// instances the engine increments; deltas are asserted because the registry
+// is process-wide and other tests in this binary also ingest.
+func TestIngestStageMetrics(t *testing.T) {
+	steps := obs.Default.Counter("tspdb_ingest_steps_total", "")
+	outOfOrder := obs.Default.Counter("tspdb_ingest_out_of_order_total", "")
+	hists := map[string]*obs.Histogram{
+		"step":   obs.Default.Histogram("tspdb_ingest_step_seconds", "", obs.DurationBuckets),
+		"model":  obs.Default.Histogram("tspdb_ingest_model_seconds", "", obs.DurationBuckets),
+		"view":   obs.Default.Histogram("tspdb_ingest_view_seconds", "", obs.DurationBuckets),
+		"commit": obs.Default.Histogram("tspdb_ingest_commit_seconds", "", obs.DurationBuckets),
+	}
+
+	e := NewEngine()
+	full := arSeries(140, 9)
+	warm, err := full.Slice(0, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterSeries("metered", warm); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := e.OpenStream(StreamConfig{
+		Source: "metered", ViewName: "metered_view",
+		Omega: view.Omega{Delta: 0.5, N: 4}, H: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps0 := steps.Value()
+	counts0 := map[string]int64{}
+	for name, h := range hists {
+		counts0[name] = h.Snapshot().Count
+	}
+
+	const n = 20
+	for i := 90; i < 90+n; i++ {
+		p, err := full.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stream.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := steps.Value() - steps0; got != n {
+		t.Errorf("tspdb_ingest_steps_total advanced by %d, want %d", got, n)
+	}
+	for name, h := range hists {
+		if got := h.Snapshot().Count - counts0[name]; got != n {
+			t.Errorf("tspdb_ingest_%s_seconds observed %d steps, want %d", name, got, n)
+		}
+	}
+
+	// A stale timestamp is rejected: out-of-order counter ticks, nothing
+	// else moves.
+	steps1, ooo1 := steps.Value(), outOfOrder.Value()
+	if _, err := stream.Step(timeseries.Point{T: 1, V: 0}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("stale step: err = %v, want ErrOutOfOrder", err)
+	}
+	if got := outOfOrder.Value() - ooo1; got != 1 {
+		t.Errorf("tspdb_ingest_out_of_order_total advanced by %d, want 1", got)
+	}
+	if steps.Value() != steps1 {
+		t.Errorf("rejected step advanced tspdb_ingest_steps_total")
+	}
+}

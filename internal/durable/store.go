@@ -9,7 +9,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/segment"
 	"repro/internal/storage"
 	"repro/internal/timeseries"
@@ -72,6 +74,8 @@ type Store struct {
 	done     chan struct{}
 	closed   sync.Once
 	closeErr error
+
+	recovery RecoveryStats // what Open replayed; immutable afterwards
 }
 
 func (s *Store) walDir() string { return filepath.Join(s.dir, "wal") }
@@ -87,6 +91,7 @@ func (s *Store) DB() *storage.DB { return s.db }
 // A fresh WAL file past every existing sequence number becomes the live
 // log — recovery never appends to a file it did not create.
 func Open(fs wal.FS, dir string, opt Options) (*Store, error) {
+	start := time.Now()
 	if opt.CheckpointBytes == 0 {
 		opt.CheckpointBytes = defaultCheckpointBytes
 	}
@@ -133,6 +138,8 @@ func Open(fs wal.FS, dir string, opt Options) (*Store, error) {
 	}
 	s.log = log
 	s.db.SetCommitLog(s)
+	s.recovery.Duration = obs.ObserveSince(metReplaySeconds, start)
+	metRecoveries.Inc()
 	go s.checkpointLoop()
 	return s, nil
 }
@@ -149,6 +156,7 @@ func (s *Store) loadManifest(m *manifest) error {
 			if err != nil {
 				return fmt.Errorf("durable: raw table %q: %w", r.Name, err)
 			}
+			s.recovery.SegmentsOpened++
 			if rd.Kind != segment.KindRaw {
 				return fmt.Errorf("durable: raw table %q: segment %s has kind %d", r.Name, path, rd.Kind)
 			}
@@ -239,14 +247,18 @@ func (s *Store) replayWAL(floor uint64) (uint64, error) {
 			continue
 		}
 		clean, err := wal.ReplayFile(s.fs, s.walDir(), seq, func(payload []byte) error {
+			s.recovery.RecordsReplayed++
+			metReplayRecords.Inc()
 			return s.apply(payload)
 		})
 		if err != nil {
 			return 0, fmt.Errorf("durable: replay %s: %w", wal.FileName(seq), err)
 		}
+		s.recovery.WALFilesReplayed++
 		if !clean {
 			// The torn tail was truncated off; nothing after it was
 			// acknowledged, so recovery stops here.
+			s.recovery.TornTail = true
 			break
 		}
 	}
@@ -454,7 +466,15 @@ func (s *Store) newSegPath(table string) string {
 func (s *Store) Checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	if err := s.checkpointLocked(); err != nil {
+		metCkptErrors.Inc()
+		return err
+	}
+	return nil
+}
 
+func (s *Store) checkpointLocked() error {
+	ckptStart := time.Now()
 	gens := make(map[string]uint64)
 	segsAt := make(map[string][]string)
 	rawFrom := func(name string) int {
@@ -557,6 +577,7 @@ func (s *Store) Checkpoint() error {
 		for _, seq := range seqs {
 			if seq < boundary {
 				s.fs.Remove(filepath.Join(s.walDir(), wal.FileName(seq)))
+				metWalTrimmed.Inc()
 			}
 		}
 	}
@@ -573,6 +594,10 @@ func (s *Store) Checkpoint() error {
 		}
 	}
 	s.gcSegments(referenced)
+	metCkpts.Inc()
+	metCkptWalSeq.Set(float64(boundary))
+	lastCkptUnixNano.Store(time.Now().UnixNano())
+	obs.ObserveSince(metCkptSeconds, ckptStart)
 	return nil
 }
 
@@ -615,6 +640,7 @@ func (s *Store) gcSegments(keep map[string]bool) {
 		path := filepath.Join(s.segDir(), name)
 		if !keep[path] {
 			s.fs.Remove(path)
+			metSegsDeleted.Inc()
 		}
 	}
 	s.wmMu.Lock()

@@ -1,0 +1,337 @@
+// Package obs is the process-wide observability core: dependency-free
+// counters, gauges and latency histograms collected into a named registry
+// that renders the Prometheus text exposition format and a JSON dump.
+//
+// Every hot subsystem — the WAL, the durable store, the storage catalog,
+// the sigma-cache, the ingest pipeline, the query executor and the HTTP
+// server — instruments itself against the package-level Default registry,
+// so one /metrics scrape (or one /debug/obs dump) sees the whole engine.
+// The primitives are built for hot paths: counters and gauges are single
+// atomics, histograms stripe their buckets across padded mutex shards so
+// concurrent observers in different goroutines rarely contend, and a Span
+// is two time.Now calls around the work it measures.
+//
+// Metrics are get-or-create: any package may ask the registry for a metric
+// by name and labels, and the first registration wins the help text and
+// (for histograms) the bucket bounds. That keeps the instrumentation
+// decentralised — the WAL registers WAL metrics, the server registers
+// route metrics — without an init-order protocol between packages.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets are the default histogram bounds for latencies, in
+// seconds: 10µs up to 5s, dense at the microsecond end where WAL appends
+// and kernel scans live.
+var DurationBuckets = []float64{
+	10e-6, 50e-6, 100e-6, 500e-6, 1e-3, 5e-3, 10e-3, 50e-3, 100e-3, 500e-3, 1, 5,
+}
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotonically increasing value (one atomic).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (float64 bits in one atomic).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histStripes is the histogram stripe count: enough that the handful of
+// goroutines on one hot path rarely collide, small enough that a snapshot
+// stays a short loop.
+const histStripes = 8
+
+// histStripe is one independently locked slice of a histogram's state.
+// The padding keeps neighbouring stripes off one cache line.
+type histStripe struct {
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	count  int64
+	_      [4]uint64
+}
+
+// Histogram is a fixed-bucket latency histogram (Prometheus semantics:
+// bucket i counts observations <= bounds[i], plus an implicit +Inf
+// bucket). Observations go to one of several mutex-striped shards chosen
+// by a per-thread random source, so concurrent observers spread out; a
+// snapshot merges the stripes.
+type Histogram struct {
+	bounds  []float64
+	stripes [histStripes]histStripe
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]int64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	s := &h.stripes[rand.Uint32N(histStripes)]
+	s.mu.Lock()
+	s.counts[i]++
+	s.sum += v
+	s.count++
+	s.mu.Unlock()
+}
+
+// HistSnapshot is a merged copy of a histogram's state. Counts are
+// per-bucket (not cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot merges the stripes into one consistent-enough copy (each stripe
+// is internally consistent; stripes are read in sequence).
+func (h *Histogram) Snapshot() HistSnapshot {
+	snap := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.bounds)+1),
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		for j, c := range s.counts {
+			snap.Counts[j] += c
+		}
+		snap.Sum += s.sum
+		snap.Count += s.count
+		s.mu.Unlock()
+	}
+	return snap
+}
+
+// Span is a lightweight timer over one Histogram.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan starts timing; End records the elapsed seconds.
+func StartSpan(h *Histogram) Span { return Span{h: h, start: time.Now()} }
+
+// End records the span's duration into its histogram and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+// ObserveSince records the seconds elapsed since start into h and returns
+// the duration — the defer-friendly form of a Span.
+func ObserveSince(h *Histogram, start time.Time) time.Duration {
+	d := time.Since(start)
+	h.Observe(d.Seconds())
+	return d
+}
+
+// --- registry ----------------------------------------------------------
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labelled instance of a family.
+type series struct {
+	labels string // rendered {a="b",...} suffix, "" when unlabelled
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family is all series sharing one metric name (and therefore one type and
+// one help string).
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use. Metrics are get-or-create: repeated registrations of the
+// same name and labels return the same metric, and a name registered as
+// one kind panics when re-requested as another (an instrumentation bug, so
+// it should fail loudly in tests rather than silently fork state).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// Default is the process-wide registry every subsystem instruments
+// against and the one /metrics and /debug/obs render.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: make(map[string]*series)}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label) *series {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		switch f.kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns (creating if needed) the counter name{labels...}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.family(name, help, kindCounter, nil).get(labels).c
+}
+
+// Gauge returns (creating if needed) the gauge name{labels...}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.family(name, help, kindGauge, nil).get(labels).g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time (for
+// ages, sizes and other derived values). The first registration of a given
+// name and label set wins; later ones are ignored.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.family(name, help, kindGaugeFunc, nil)
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		f.series[key] = &series{labels: key, gf: fn}
+	}
+}
+
+// Histogram returns (creating if needed) the histogram name{labels...}.
+// bounds are the bucket upper bounds in ascending order; the first
+// registration of a family fixes them.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return r.family(name, help, kindHistogram, bounds).get(labels).h
+}
+
+// renderLabels builds the canonical {a="b",c="d"} suffix: labels sorted by
+// name, values escaped per the Prometheus text format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels) > 1 && !sort.SliceIsSorted(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name }) {
+		labels = append([]Label(nil), labels...)
+		sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

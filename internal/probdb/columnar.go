@@ -109,6 +109,7 @@ func ExpectedSeries(p *storage.ProbTable, tLo, tHi int64) ([]TimeSeriesPoint, er
 	}
 	var out []TimeSeriesPoint
 	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		noteScan(groups)
 		if len(groups) == 0 {
 			return nil
 		}
@@ -140,6 +141,7 @@ func ProbSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]TimeSer
 	}
 	var out []TimeSeriesPoint
 	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		noteScan(groups)
 		if len(groups) == 0 {
 			return nil
 		}
@@ -177,6 +179,7 @@ func scanProbs(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, reduce func
 	}
 	n := 0
 	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		noteScan(groups)
 		if len(groups) == 0 {
 			return nil
 		}
@@ -211,6 +214,7 @@ func probsOver(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]float64,
 	}
 	var out []float64
 	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		noteScan(groups)
 		if len(groups) == 0 {
 			return nil
 		}
@@ -324,9 +328,11 @@ func atGroupCols(p *storage.ProbTable, t int64, fn func(g storage.GroupCols) err
 	if p == nil {
 		return fmt.Errorf("%w: nil view", ErrBadArg)
 	}
+	metKernelCalls.Inc()
 	found := false
 	err := p.ForEachGroupCols(t, t, func(g storage.GroupCols) error {
 		found = true
+		noteScanGroup(len(g.Rows))
 		return fn(g)
 	})
 	if err != nil {

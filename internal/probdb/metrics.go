@@ -1,0 +1,32 @@
+package probdb
+
+import (
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+var (
+	metKernelCalls = obs.Default.Counter("tspdb_probdb_kernel_calls_total",
+		"Aggregate/point kernel invocations.")
+	metGroupsScanned = obs.Default.Counter("tspdb_probdb_groups_scanned_total",
+		"Distinct timestamps in ranges handed to the kernels.")
+	metRowsScanned = obs.Default.Counter("tspdb_probdb_rows_scanned_total",
+		"Rows in ranges handed to the kernels (early-stopping reducers may visit fewer).")
+)
+
+// noteScan accounts one kernel invocation over a group span. One call per
+// RangeCols callback: three atomic adds, nothing per row.
+func noteScan(groups []storage.TimeGroup) {
+	metKernelCalls.Inc()
+	if n := len(groups); n > 0 {
+		metGroupsScanned.Add(int64(n))
+		first, last := groups[0], groups[n-1]
+		metRowsScanned.Add(int64(last.Off + last.Len - first.Off))
+	}
+}
+
+// noteScanGroup accounts a point-query kernel touching one group.
+func noteScanGroup(rows int) {
+	metGroupsScanned.Inc()
+	metRowsScanned.Add(int64(rows))
+}

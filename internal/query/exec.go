@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/clean"
 	"repro/internal/density"
+	"repro/internal/obs"
 	"repro/internal/probdb"
 	"repro/internal/sigmacache"
 	"repro/internal/storage"
@@ -42,6 +43,28 @@ type Result struct {
 	Elapsed time.Duration
 	// CacheStats reports sigma-cache effectiveness when a cache was used.
 	CacheStats *sigmacache.Stats
+	// Stats is the per-query cost profile behind the server's ?explain=1.
+	Stats Stats
+}
+
+// Stats describes what a statement cost: which physical path served it and
+// how much it scanned or produced. ParseNs is zero here — callers that
+// parse separately (the server does) fill it in their explain payload.
+type Stats struct {
+	// Statement is the statement kind: "create_view", "select",
+	// "show_tables" or "drop".
+	Statement string `json:"statement"`
+	// Path is the physical path taken: "columnar" (batch kernels over the
+	// struct-of-arrays projection), "row" (row-copy listing), "raw" (raw
+	// table scan), "build" (view materialisation) or "meta".
+	Path string `json:"path"`
+	// Groups and Rows are the group-index span of the scanned time range
+	// (for a build: tuples inferred and rows materialised).
+	Groups int `json:"groups_scanned"`
+	Rows   int `json:"rows_scanned"`
+	// ParseNs and ExecNs decompose the query's latency.
+	ParseNs int64 `json:"parse_ns,omitempty"`
+	ExecNs  int64 `json:"exec_ns"`
 }
 
 // Options tunes statement execution.
@@ -88,23 +111,31 @@ func ExecStmtWith(db *storage.DB, stmt Stmt, opts Options) (*Result, error) {
 	start := time.Now()
 	var res *Result
 	var err error
+	var statement string
 	switch s := stmt.(type) {
 	case *CreateViewStmt:
+		statement = "create_view"
 		res, err = execCreateView(db, s, opts)
 	case *SelectStmt:
+		statement = "select"
 		res, err = execSelect(db, s)
 	case *ShowTablesStmt:
+		statement = "show_tables"
 		res, err = execShowTables(db)
 	case *DropStmt:
+		statement = "drop"
 		err = db.Drop(s.Table)
-		res = &Result{Kind: "ok"}
+		res = &Result{Kind: "ok", Stats: Stats{Path: "meta"}}
 	default:
 		err = fmt.Errorf("%w: %T", ErrUnsupported, stmt)
 	}
 	if err != nil {
 		return nil, err
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = obs.ObserveSince(metQuerySeconds, start)
+	res.Stats.Statement = statement
+	res.Stats.ExecNs = res.Elapsed.Nanoseconds()
+	statementCounter(statement).Inc()
 	return res, nil
 }
 
@@ -240,7 +271,10 @@ func execCreateView(db *storage.DB, s *CreateViewStmt, opts Options) (*Result, e
 	if err := db.StoreView(table); err != nil {
 		return nil, err
 	}
-	res := &Result{Kind: "view", View: table}
+	res := &Result{
+		Kind: "view", View: table,
+		Stats: Stats{Path: "build", Groups: len(tuples), Rows: len(v.Rows)},
+	}
 	if cache != nil {
 		st := cache.Stats()
 		res.CacheStats = &st
@@ -264,7 +298,11 @@ func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
 
 	// Probabilistic view?
 	if pv, err := db.View(s.Table); err == nil {
-		res := &Result{Kind: "rows", Columns: []string{"t", "lambda", "lo", "hi", "prob"}}
+		groups, rows := pv.RangeSize(tLo, tHi)
+		res := &Result{
+			Kind: "rows", Columns: []string{"t", "lambda", "lo", "hi", "prob"},
+			Stats: Stats{Path: "row", Groups: groups, Rows: rows},
+		}
 		for _, r := range pv.RowsRange(tLo, tHi) {
 			res.Rows = append(res.Rows, []string{
 				strconv.FormatInt(r.T, 10),
@@ -290,6 +328,7 @@ func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Stats = Stats{Path: "raw", Rows: sub.Len()}
 	for i := 0; i < sub.Len(); i++ {
 		p, err := sub.At(i)
 		if err != nil {
@@ -308,40 +347,44 @@ func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
 
 // execAggregate evaluates a probabilistic aggregate over a view.
 func execAggregate(pv *storage.ProbTable, s *SelectStmt, tLo, tHi int64) (*Result, error) {
+	var res *Result
 	switch s.Agg.Name {
 	case "EXPECTED":
 		series, err := probdb.ExpectedSeries(pv, tLo, tHi)
 		if err != nil {
 			return nil, err
 		}
-		return seriesResult("expected", series, s.Limit), nil
+		res = seriesResult("expected", series, s.Limit)
 	case "PROB":
 		series, err := probdb.ProbSeries(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
 		if err != nil {
 			return nil, err
 		}
-		return seriesResult("prob", series, s.Limit), nil
+		res = seriesResult("prob", series, s.Limit)
 	case "ANY":
 		v, err := probdb.AnyInRange(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
 		if err != nil {
 			return nil, err
 		}
-		return scalarResult("any", v), nil
+		res = scalarResult("any", v)
 	case "ALLIN":
 		v, err := probdb.AllInRange(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
 		if err != nil {
 			return nil, err
 		}
-		return scalarResult("allin", v), nil
+		res = scalarResult("allin", v)
 	case "COUNT":
 		v, err := probdb.ExpectedCount(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
 		if err != nil {
 			return nil, err
 		}
-		return scalarResult("count", v), nil
+		res = scalarResult("count", v)
 	default:
 		return nil, fmt.Errorf("%w: aggregate %q", ErrUnsupported, s.Agg.Name)
 	}
+	groups, rows := pv.RangeSize(tLo, tHi)
+	res.Stats = Stats{Path: "columnar", Groups: groups, Rows: rows}
+	return res, nil
 }
 
 func seriesResult(col string, series []probdb.TimeSeriesPoint, limit int) *Result {

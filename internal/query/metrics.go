@@ -1,0 +1,14 @@
+package query
+
+import "repro/internal/obs"
+
+var metQuerySeconds = obs.Default.Histogram("tspdb_query_seconds",
+	"Statement execution latency.", obs.DurationBuckets)
+
+// statementCounter returns the per-statement execution counter. The
+// registry get-or-create is one lock + map lookup, negligible next to any
+// statement's execution.
+func statementCounter(stmt string) *obs.Counter {
+	return obs.Default.Counter("tspdb_query_total",
+		"Statements executed, by statement kind.", obs.Label{Name: "statement", Value: stmt})
+}

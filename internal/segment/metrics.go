@@ -1,0 +1,16 @@
+package segment
+
+import "repro/internal/obs"
+
+var (
+	metWritten = obs.Default.Counter("tspdb_segments_written_total",
+		"Segment files sealed.")
+	metBytesWritten = obs.Default.Counter("tspdb_segment_bytes_written_total",
+		"Bytes written into sealed segment files.")
+	metOpened = obs.Default.Counter("tspdb_segments_opened_total",
+		"Segment files opened and header-verified.")
+	metBytesRead = obs.Default.Counter("tspdb_segment_bytes_read_total",
+		"Bytes read from segment files at open.")
+	metSeal = obs.Default.Histogram("tspdb_segment_seal_seconds",
+		"Segment seal latency (write + sync + rename).", obs.DurationBuckets)
+)

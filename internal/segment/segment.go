@@ -32,6 +32,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/view"
 	"repro/internal/wal"
@@ -285,6 +286,7 @@ func headerBytes(kind Kind, groups int, meta func([]byte) []byte) int {
 // A crash at any boundary leaves either no file or the complete sealed
 // file — never a torn segment under the final name.
 func seal(fs wal.FS, path string, data []byte) error {
+	sp := obs.StartSpan(metSeal)
 	tmp := path + ".tmp"
 	f, err := fs.Create(tmp)
 	if err != nil {
@@ -308,6 +310,9 @@ func seal(fs wal.FS, path string, data []byte) error {
 		fs.Remove(tmp)
 		return err
 	}
+	metWritten.Inc()
+	metBytesWritten.Add(int64(len(data)))
+	sp.End()
 	return nil
 }
 
@@ -351,6 +356,8 @@ func Open(fs wal.FS, path string) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
+	metOpened.Inc()
+	metBytesRead.Add(int64(len(data)))
 	return openBytes(fs, path, data)
 }
 

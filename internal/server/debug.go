@@ -1,0 +1,36 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// DebugHandler returns the operator debug surface: net/http/pprof under
+// /debug/pprof/ and a JSON dump of every metric registry at /debug/obs.
+// It is deliberately not mounted on the serving mux — profiles reveal code
+// and heap contents, so the daemon serves this handler only on the separate
+// -debug-addr listener (conventionally loopback-only).
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	// Registered explicitly instead of importing net/http/pprof for effect:
+	// the blank import registers on http.DefaultServeMux, which this server
+	// never serves.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Server-local families (routes, uptime) first, then the process-wide
+		// engine registry; names never overlap (tspdbd_* vs tspdb_*).
+		dump := append(s.reg.Snapshot(), obs.Default.Snapshot()...)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dump)
+	})
+	return mux
+}

@@ -3,119 +3,43 @@ package server
 import (
 	"fmt"
 	"net/http"
-	"runtime"
-	"sort"
 	"strconv"
-	"sync"
-	"time"
+
+	"repro/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds (Prometheus
-// convention: cumulative, with an implicit +Inf bucket).
+// latencyBuckets are the request-latency histogram upper bounds in seconds
+// (Prometheus convention: cumulative, with an implicit +Inf bucket). Coarser
+// than obs.DurationBuckets because a request includes JSON codec and network
+// time that the engine-side histograms already decompose.
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
-// routeMetrics accumulates per-route request counts (by status code) and a
-// latency histogram.
-type routeMetrics struct {
-	byCode  map[int]int64
-	buckets []int64 // len(latencyBuckets)+1, last is +Inf
-	sum     float64
-	count   int64
+// observe records one completed request in the server's registry. Route
+// metrics live in a per-Server registry, not obs.Default: tests (and
+// embedders) run several servers in one process, and each server's scrape
+// should count only its own traffic. The engine-side tspdb_* metrics stay
+// process-wide in obs.Default and are appended to the same scrape below.
+func (s *Server) observe(route string, code int, seconds float64) {
+	s.reg.Counter("tspdbd_requests_total", "Requests served, by route and status code.",
+		obs.Label{Name: "route", Value: route},
+		obs.Label{Name: "code", Value: strconv.Itoa(code)}).Inc()
+	s.reg.Histogram("tspdbd_request_duration_seconds", "Request latency histogram by route.",
+		latencyBuckets, obs.Label{Name: "route", Value: route}).Observe(seconds)
 }
 
-// metrics is the server-wide registry. A single mutex is enough: the
-// critical section is a handful of integer increments, far cheaper than the
-// request handling around it.
-type metrics struct {
-	start  time.Time
-	mu     sync.Mutex
-	routes map[string]*routeMetrics
-}
-
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), routes: make(map[string]*routeMetrics)}
-}
-
-func (m *metrics) observe(route string, code int, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rm, ok := m.routes[route]
-	if !ok {
-		rm = &routeMetrics{byCode: make(map[int]int64), buckets: make([]int64, len(latencyBuckets)+1)}
-		m.routes[route] = rm
-	}
-	rm.byCode[code]++
-	rm.count++
-	rm.sum += seconds
-	i := sort.SearchFloat64s(latencyBuckets, seconds)
-	rm.buckets[i]++
-}
-
-// snapshot returns a deep copy of the per-route metrics so rendering can
-// happen without holding the lock: writing the response stalls on slow
-// scrapers, and the lock is on every request's completion path.
-func (m *metrics) snapshot() (routes []string, stats map[string]*routeMetrics) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	stats = make(map[string]*routeMetrics, len(m.routes))
-	for name, rm := range m.routes {
-		routes = append(routes, name)
-		cp := &routeMetrics{
-			byCode:  make(map[int]int64, len(rm.byCode)),
-			buckets: append([]int64(nil), rm.buckets...),
-			sum:     rm.sum,
-			count:   rm.count,
-		}
-		for c, n := range rm.byCode {
-			cp.byCode[c] = n
-		}
-		stats[name] = cp
-	}
-	sort.Strings(routes)
-	return routes, stats
-}
-
-// handleMetrics renders the Prometheus text exposition format: request
-// counters and latency histograms per route, sigma-cache effectiveness
-// aggregated across the engine's caches, and stream gauges.
+// handleMetrics renders the Prometheus text exposition format in three
+// parts: the server's own registry (route counters/latencies, uptime,
+// goroutines), dynamic engine-bound sections whose label sets change as
+// streams open and close (sigma-cache effectiveness, per-shard occupancy,
+// stream gauges), and finally the process-wide obs.Default registry with
+// every tspdb_* subsystem metric (WAL, checkpoints, replay, ingest stages,
+// query kernels). Family names never overlap across the three parts, so the
+// concatenation is a valid exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 
-	m := s.metrics
-	routes, stats := m.snapshot()
-
-	fmt.Fprintf(w, "# HELP tspdbd_uptime_seconds Seconds since the server started.\n")
-	fmt.Fprintf(w, "# TYPE tspdbd_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "tspdbd_uptime_seconds %g\n", time.Since(m.start).Seconds())
-
-	fmt.Fprintf(w, "# HELP tspdbd_requests_total Requests served, by route and status code.\n")
-	fmt.Fprintf(w, "# TYPE tspdbd_requests_total counter\n")
-	for _, route := range routes {
-		rm := stats[route]
-		codes := make([]int, 0, len(rm.byCode))
-		for c := range rm.byCode {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(w, "tspdbd_requests_total{route=%q,code=\"%d\"} %d\n", route, c, rm.byCode[c])
-		}
-	}
-
-	fmt.Fprintf(w, "# HELP tspdbd_request_duration_seconds Request latency histogram by route.\n")
-	fmt.Fprintf(w, "# TYPE tspdbd_request_duration_seconds histogram\n")
-	for _, route := range routes {
-		rm := stats[route]
-		cum := int64(0)
-		for i, le := range latencyBuckets {
-			cum += rm.buckets[i]
-			fmt.Fprintf(w, "tspdbd_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
-				route, strconv.FormatFloat(le, 'g', -1, 64), cum)
-		}
-		cum += rm.buckets[len(latencyBuckets)]
-		fmt.Fprintf(w, "tspdbd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
-		fmt.Fprintf(w, "tspdbd_request_duration_seconds_sum{route=%q} %g\n", route, rm.sum)
-		fmt.Fprintf(w, "tspdbd_request_duration_seconds_count{route=%q} %d\n", route, rm.count)
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return err
 	}
 
 	cache := s.engine.AggregateCacheStats()
@@ -146,8 +70,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 		fmt.Fprintf(w, "tspdbd_stream_steps_total{table=%q,view=%q} %d\n", st.Source, st.ViewName, st.Steps)
 	}
 
-	fmt.Fprintf(w, "# HELP tspdbd_goroutines Current goroutine count.\n")
-	fmt.Fprintf(w, "# TYPE tspdbd_goroutines gauge\n")
-	fmt.Fprintf(w, "tspdbd_goroutines %d\n", runtime.NumGoroutine())
-	return nil
+	// Per-shard sigma-cache occupancy: which stripes of the ladder carry the
+	// working set. Misses are counted per cache, not per shard, so only hits
+	// and residency appear here.
+	fmt.Fprintf(w, "# HELP tspdbd_sigma_cache_shard_hits_total Sigma-cache hits per ladder shard (open streams).\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_sigma_cache_shard_hits_total counter\n")
+	for _, st := range streams {
+		for i, sh := range st.Shards {
+			fmt.Fprintf(w, "tspdbd_sigma_cache_shard_hits_total{shard=\"%d\",table=%q} %d\n", i, st.Source, sh.Hits)
+		}
+	}
+	fmt.Fprintf(w, "# HELP tspdbd_sigma_cache_shard_entries Cached grids per ladder shard (open streams).\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_sigma_cache_shard_entries gauge\n")
+	for _, st := range streams {
+		for i, sh := range st.Shards {
+			fmt.Fprintf(w, "tspdbd_sigma_cache_shard_entries{shard=\"%d\",table=%q} %d\n", i, st.Source, sh.Entries)
+		}
+	}
+	fmt.Fprintf(w, "# HELP tspdbd_sigma_cache_shard_bytes Approximate resident bytes per ladder shard (open streams).\n")
+	fmt.Fprintf(w, "# TYPE tspdbd_sigma_cache_shard_bytes gauge\n")
+	for _, st := range streams {
+		for i, sh := range st.Shards {
+			fmt.Fprintf(w, "tspdbd_sigma_cache_shard_bytes{shard=\"%d\",table=%q} %d\n", i, st.Source, sh.ApproxBytes)
+		}
+	}
+
+	return obs.Default.WritePrometheus(w)
 }

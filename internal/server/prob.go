@@ -3,8 +3,11 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/probdb"
+	"repro/internal/query"
+	"repro/internal/storage"
 )
 
 // Probabilistic query endpoints: thin HTTP bindings over the probdb helpers,
@@ -21,6 +24,21 @@ type RangeProbResponse struct {
 	T      *int64          `json:"t,omitempty"`
 	Prob   *float64        `json:"prob,omitempty"`
 	Series []TimeValueJSON `json:"series,omitempty"`
+	Stats  *query.Stats    `json:"stats,omitempty"`
+}
+
+// probStats assembles the ?explain=1 statistics of one probdb endpoint: the
+// kernels run columnar over the view's group index, so the scanned span is
+// read off the index in O(log T) after the fact.
+func probStats(statement string, pv *storage.ProbTable, tLo, tHi int64, start time.Time) *query.Stats {
+	groups, rows := pv.RangeSize(tLo, tHi)
+	return &query.Stats{
+		Statement: statement,
+		Path:      "columnar",
+		Groups:    groups,
+		Rows:      rows,
+		ExecNs:    time.Since(start).Nanoseconds(),
+	}
 }
 
 // TimeValueJSON pairs a timestamp with a scalar.
@@ -46,6 +64,7 @@ func (s *Server) handleRangeProb(w http.ResponseWriter, r *http.Request) error {
 		return fmt.Errorf("%w: rangeprob requires lo= and hi=", errBadRequest)
 	}
 	resp := RangeProbResponse{View: pv.Name, Lo: lo, Hi: hi}
+	start := time.Now()
 	if ts := r.URL.Query().Get("t"); ts != "" {
 		t, err := int64Param(r, "t", 0)
 		if err != nil {
@@ -56,6 +75,9 @@ func (s *Server) handleRangeProb(w http.ResponseWriter, r *http.Request) error {
 			return err
 		}
 		resp.T, resp.Prob = &t, &p
+		if explainRequested(r) {
+			resp.Stats = probStats("rangeprob", pv, t, t, start)
+		}
 		return writeJSON(w, http.StatusOK, resp)
 	}
 	from, to, err := timeRangeParams(r)
@@ -70,16 +92,20 @@ func (s *Server) handleRangeProb(w http.ResponseWriter, r *http.Request) error {
 	for i, pt := range series {
 		resp.Series[i] = TimeValueJSON{T: pt.T, Value: pt.Value}
 	}
+	if explainRequested(r) {
+		resp.Stats = probStats("rangeprob", pv, from, to, start)
+	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 
 // TopKResponse is the GET /views/{view}/topk payload: the k most probable
 // Omega ranges of one tuple, descending.
 type TopKResponse struct {
-	View string    `json:"view"`
-	T    int64     `json:"t"`
-	K    int       `json:"k"`
-	Rows []RowJSON `json:"rows"`
+	View  string       `json:"view"`
+	T     int64        `json:"t"`
+	K     int          `json:"k"`
+	Rows  []RowJSON    `json:"rows"`
+	Stats *query.Stats `json:"stats,omitempty"`
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
@@ -98,11 +124,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	rows, err := probdb.TopKAt(pv, t, k)
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, TopKResponse{View: pv.Name, T: t, K: k, Rows: rowsJSON(rows)})
+	resp := TopKResponse{View: pv.Name, T: t, K: k, Rows: rowsJSON(rows)}
+	if explainRequested(r) {
+		resp.Stats = probStats("topk", pv, t, t, start)
+	}
+	return writeJSON(w, http.StatusOK, resp)
 }
 
 // BucketJSON is a named value interval (a room in Fig. 1).
@@ -131,6 +162,7 @@ type BucketsResponse struct {
 	View    string           `json:"view"`
 	T       int64            `json:"t"`
 	Buckets []BucketProbJSON `json:"buckets"`
+	Stats   *query.Stats     `json:"stats,omitempty"`
 }
 
 func (s *Server) handleBuckets(w http.ResponseWriter, r *http.Request) error {
@@ -146,11 +178,15 @@ func (s *Server) handleBuckets(w http.ResponseWriter, r *http.Request) error {
 	for i, b := range req.Buckets {
 		buckets[i] = probdb.Bucket{Name: b.Name, Lo: b.Lo, Hi: b.Hi}
 	}
+	start := time.Now()
 	probs, err := probdb.BucketQueryAt(pv, req.T, buckets)
 	if err != nil {
 		return err
 	}
 	resp := BucketsResponse{View: pv.Name, T: req.T, Buckets: make([]BucketProbJSON, len(probs))}
+	if explainRequested(r) {
+		resp.Stats = probStats("buckets", pv, req.T, req.T, start)
+	}
 	for i, bp := range probs {
 		resp.Buckets[i] = BucketProbJSON{
 			Name: bp.Bucket.Name, Lo: bp.Bucket.Lo, Hi: bp.Bucket.Hi, Prob: bp.Prob,

@@ -20,13 +20,20 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/timeseries"
 	"repro/internal/view"
@@ -45,6 +52,14 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body sizes. 0 selects 32 MiB.
 	MaxBodyBytes int64
+	// Logger receives the server's structured logs: handler panics and
+	// slow requests, each tagged with the request id. Nil selects
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowQuery is the latency above which a completed request is logged
+	// at warn level with its route, status and request id. 0 disables
+	// slow-request logging.
+	SlowQuery time.Duration
 }
 
 // Server is the HTTP serving layer over one engine. It implements
@@ -53,8 +68,12 @@ type Server struct {
 	engine   *core.Engine
 	cfg      Config
 	mux      *http.ServeMux
-	metrics  *metrics
+	logger   *slog.Logger
+	reg      *obs.Registry // per-server metrics (routes, uptime); see observe
+	start    time.Time
 	buildSem chan struct{}
+	idPrefix string // random per-process prefix of generated request ids
+	reqSeq   atomic.Uint64
 }
 
 // New wraps an engine in a server. The engine may already hold tables and
@@ -69,13 +88,26 @@ func New(engine *core.Engine, cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	var pfx [4]byte
+	rand.Read(pfx[:])
 	s := &Server{
 		engine:   engine,
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
-		metrics:  newMetrics(),
+		logger:   logger,
+		reg:      obs.NewRegistry(),
+		start:    time.Now(),
 		buildSem: make(chan struct{}, cfg.MaxViewBuilds),
+		idPrefix: hex.EncodeToString(pfx[:]),
 	}
+	s.reg.GaugeFunc("tspdbd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("tspdbd_goroutines", "Current goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("PUT /tables/{table}", s.handleCreateTable)
@@ -97,17 +129,46 @@ func New(engine *core.Engine, cfg Config) *Server {
 // snapshots).
 func (s *Server) Engine() *core.Engine { return s.engine }
 
-// handle registers an instrumented route: every request is counted and its
-// latency recorded under the route pattern.
+// handle registers an instrumented route. The wrapper is the server's whole
+// middleware stack: it assigns (or propagates) the X-Request-Id, recovers
+// handler panics into logged 500s, records the request in the route metrics,
+// and logs requests slower than Config.SlowQuery — in that order, so a
+// panicking handler is still counted and a slow panic is still logged.
 func (s *Server) handle(pattern string, fn func(http.ResponseWriter, *http.Request) error) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = fmt.Sprintf("%s-%06d", s.idPrefix, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", reqID)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				// Count the request as a 500 even when the handler panicked
+				// after writing a success header; the wire status cannot be
+				// amended, but the metrics and the log should not claim OK.
+				sw.code = http.StatusInternalServerError
+				s.logger.Error("handler panic",
+					"route", pattern, "request_id", reqID,
+					"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+				if !sw.wrote {
+					_ = writeJSON(sw, http.StatusInternalServerError,
+						ErrorResponse{Error: "internal server error", Code: http.StatusInternalServerError})
+				}
+			}
+			elapsed := time.Since(start)
+			s.observe(pattern, sw.code, elapsed.Seconds())
+			if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+				s.logger.Warn("slow request",
+					"route", pattern, "request_id", reqID,
+					"status", sw.code, "elapsed", elapsed)
+			}
+		}()
 		if err := fn(sw, r); err != nil {
 			writeError(sw, err)
 		}
-		s.metrics.observe(pattern, sw.code, time.Since(start).Seconds())
 	})
 }
 
@@ -181,7 +242,7 @@ type HealthResponse struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	return writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
-		UptimeSeconds: int64(time.Since(s.metrics.start).Seconds()),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Tables:        len(s.engine.DB().List()),
 		Streams:       len(s.engine.Streams()),
 		Durable:       s.engine.Durable(),
@@ -403,6 +464,9 @@ type QueryResponse struct {
 	View      *ViewSummaryJSON `json:"view,omitempty"`
 	Cache     *CacheStatsJSON  `json:"cache,omitempty"`
 	ElapsedMS float64          `json:"elapsed_ms"`
+	// Stats carries the executor's query statistics when the request sets
+	// ?explain=1: scan path taken, groups/rows scanned, parse/exec time.
+	Stats *query.Stats `json:"stats,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
@@ -410,10 +474,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err := readJSON(r, &req); err != nil {
 		return err
 	}
+	parseStart := time.Now()
 	stmt, err := query.Parse(req.Q)
 	if err != nil {
 		return err
 	}
+	parseNs := time.Since(parseStart).Nanoseconds()
 	// Gate expensive materialisations so a burst of CREATE VIEW requests
 	// cannot occupy every core; ingest and scans never wait here.
 	if _, isBuild := stmt.(*query.CreateViewStmt); isBuild {
@@ -449,8 +515,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 			Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, ApproxBytes: st.ApproxBytes,
 		}
 	}
+	if explainRequested(r) {
+		stats := res.Stats
+		stats.ParseNs = parseNs
+		resp.Stats = &stats
+	}
 	return writeJSON(w, http.StatusOK, resp)
 }
+
+// explainRequested reports whether the client asked for query statistics
+// (?explain=1) in the response.
+func explainRequested(r *http.Request) bool { return r.URL.Query().Get("explain") == "1" }
 
 // ViewRowsResponse is the GET /views/{view}/rows payload.
 type ViewRowsResponse struct {

@@ -290,7 +290,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	body := buf.String()
 	for _, want := range []string{
-		`tspdbd_requests_total{route="POST /query",code="200"} 1`,
+		`tspdbd_requests_total{code="200",route="POST /query"} 1`,
 		`tspdbd_request_duration_seconds_count{route="GET /healthz"} 1`,
 		"tspdbd_sigma_cache_hits_total",
 		"tspdbd_sigma_cache_hit_rate",

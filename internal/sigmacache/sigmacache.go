@@ -311,6 +311,34 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
+// ShardStat describes one shard of the rung ladder: its hit count and the
+// rungs (with their resident size) it owns. Misses have no shard — a miss
+// is a sigma outside the ladder entirely — so they appear only in Stats.
+type ShardStat struct {
+	Hits        int
+	Entries     int
+	ApproxBytes int
+}
+
+// ShardStats returns per-shard counters, in shard order — the unflattened
+// form of Stats for /metrics and cache-balance diagnostics.
+func (c *Cache) ShardStats() []ShardStat {
+	const keyOverhead = 16
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		entries := len(sh.entries)
+		sh.mu.RUnlock()
+		out[i] = ShardStat{
+			Hits:        int(sh.hits.Load()),
+			Entries:     entries,
+			ApproxBytes: entries * ((c.cfg.N+1)*8 + keyOverhead),
+		}
+	}
+	return out
+}
+
 // MaxHellingerError returns the worst-case Hellinger distance between a
 // queried sigma and the grid actually used, i.e. the distance at the ratio
 // threshold. For a distance-constrained cache this is <= the configured H'.

@@ -158,6 +158,7 @@ func (p *ProbTable) SetLoader(n int, load RowsLoader) {
 	p.load = load
 	p.pending = n
 	p.loadErr = nil
+	metIndexGroups.Add(-float64(len(p.groups)))
 	p.groups, p.indexed, p.head = nil, 0, nil
 	p.colT, p.colLo, p.colHi, p.colProb = nil, nil, nil, nil
 }
@@ -209,11 +210,15 @@ func (p *ProbTable) extendIndex() {
 			p.Rows = append(rows, p.Rows...)
 			p.pending = 0
 		}
+		metIndexLazyLoads.Inc()
 	}
 	if p.indexed > len(p.Rows) || (p.indexed > 0 && p.head != &p.Rows[0]) {
+		metIndexGroups.Add(-float64(len(p.groups)))
+		metIndexRebuilds.Inc()
 		p.groups, p.indexed = nil, 0
 		p.colT, p.colLo, p.colHi, p.colProb = p.colT[:0], p.colLo[:0], p.colHi[:0], p.colProb[:0]
 	}
+	groupsBefore := len(p.groups)
 	for i := p.indexed; i < len(p.Rows); i++ {
 		r := &p.Rows[i]
 		t := r.T
@@ -232,6 +237,9 @@ func (p *ProbTable) extendIndex() {
 		p.head = &p.Rows[0]
 	} else {
 		p.head = nil
+	}
+	if d := len(p.groups) - groupsBefore; d != 0 {
+		metIndexGroups.Add(float64(d))
 	}
 }
 
@@ -281,6 +289,7 @@ func (p *ProbTable) appendLocked(rows []view.Row, logIt bool) error {
 	// trigger a full rebuild under the write lock.
 	p.head = &p.Rows[0]
 	p.extendIndex()
+	metRowsAppended.Add(int64(len(rows)))
 	return nil
 }
 
@@ -384,6 +393,20 @@ func (p *ProbTable) Times() []int64 {
 		out[i] = g.T
 	}
 	return out
+}
+
+// RangeSize reports how many distinct timestamps (groups) and rows fall in
+// [tLo, tHi] — the scan size a range query will touch — at O(log T) cost.
+// Query explain output uses it to report work without re-walking the range.
+func (p *ProbTable) RangeSize(tLo, tHi int64) (groups, rows int) {
+	p.rlockIndexed()
+	defer p.mu.RUnlock()
+	lo, hi := p.groupSpan(tLo, tHi)
+	if lo >= hi {
+		return 0, 0
+	}
+	first, last := p.groups[lo], p.groups[hi-1]
+	return hi - lo, last.Off + last.Len - first.Off
 }
 
 // GroupsRange returns a copy of the group index entries with timestamp in
@@ -634,7 +657,11 @@ func (db *DB) AppendRaw(name string, p timeseries.Point) error {
 			return err
 		}
 	}
-	return t.Series.Append(p)
+	if err := t.Series.Append(p); err != nil {
+		return err
+	}
+	metRawAppends.Inc()
+	return nil
 }
 
 // CommitStep commits one ingest step atomically: the raw point and the
@@ -674,6 +701,7 @@ func (db *DB) CommitStep(source string, pt timeseries.Point, table *ProbTable, r
 	if err := t.Series.Append(pt); err != nil {
 		return err
 	}
+	metRawAppends.Inc()
 	if len(rows) == 0 {
 		return nil
 	}

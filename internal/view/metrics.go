@@ -1,0 +1,16 @@
+package view
+
+import "repro/internal/obs"
+
+// Online ingest stage timings. Registered by name on the shared registry:
+// the clean package observes the same model-stage family for its path, and
+// core times the commit stage — together one scrape shows where a Step's
+// time goes. Only the online per-point path is timed; bulk offline builds
+// stay uninstrumented per tuple so the builder benchmarks measure kernels,
+// not telemetry.
+var (
+	metModelStage = obs.Default.Histogram("tspdb_ingest_model_seconds",
+		"Density-metric inference time per online ingest step.", obs.DurationBuckets)
+	metViewStage = obs.Default.Histogram("tspdb_ingest_view_seconds",
+		"Omega-view row generation time per online ingest step.", obs.DurationBuckets)
+)

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/density"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/sigmacache"
 	"repro/internal/timeseries"
 )
@@ -438,11 +439,15 @@ func (ob *OnlineBuilder) Prepare(t int64, rt float64) ([]Row, func(), error) {
 	if ob.started && t <= ob.lastT {
 		return nil, nil, fmt.Errorf("%w: non-increasing timestamp %d", ErrBadArg, t)
 	}
+	mspan := obs.StartSpan(metModelStage)
 	inf, err := ob.metric.Infer(ob.window)
+	mspan.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	vspan := obs.StartSpan(metViewStage)
 	rows, err := ob.builder.GenerateOne(Tuple{T: t, RHat: inf.RHat, Sigma: inf.Sigma, Dist: inf.Dist})
+	vspan.End()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -7,6 +7,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Options tunes a Log.
@@ -103,6 +106,7 @@ func ReplayFile(fs FS, dir string, seq uint64, fn func(payload []byte) error) (c
 		if terr := fs.Truncate(path, n); terr != nil {
 			return false, terr
 		}
+		metTornTails.Inc()
 	}
 	return clean, nil
 }
@@ -134,6 +138,7 @@ func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecordBytes {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -155,11 +160,16 @@ func (l *Log) Append(payload []byte) error {
 	}
 	l.size += int64(len(l.buf))
 	if l.opt.Fsync {
+		syncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.err = err
 			return err
 		}
+		obs.ObserveSince(metFsync, syncStart)
 	}
+	metRecords.Inc()
+	metBytes.Add(int64(len(l.buf)))
+	obs.ObserveSince(metAppend, start)
 	return nil
 }
 
@@ -204,9 +214,11 @@ func (l *Log) Rotate() (liveSeq uint64, err error) {
 }
 
 func (l *Log) rotateLocked() error {
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	obs.ObserveSince(metFsync, syncStart)
 	if err := l.f.Close(); err != nil {
 		return err
 	}
@@ -215,6 +227,7 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	l.f, l.seq, l.size = f, l.seq+1, 0
+	metRotations.Inc()
 	return nil
 }
 

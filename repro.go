@@ -33,6 +33,7 @@ import (
 	"repro/internal/clean"
 	"repro/internal/core"
 	"repro/internal/density"
+	"repro/internal/durable"
 	"repro/internal/probdb"
 	"repro/internal/quality"
 	"repro/internal/server"
@@ -74,6 +75,11 @@ type (
 	BucketProb = probdb.BucketProb
 	// QualityResult reports a density-distance evaluation (Section II-B).
 	QualityResult = quality.Result
+	// RecoveryStats reports what (*Engine).RecoveryStats replayed when a
+	// durable engine opened its data directory: segments opened, WAL files
+	// and records replayed, whether a torn tail was truncated, and how long
+	// recovery took.
+	RecoveryStats = durable.RecoveryStats
 	// Server is the HTTP/JSON serving subsystem over one Engine (tspdbd).
 	Server = server.Server
 	// ServerConfig tunes a Server (snapshot path, build/batch limits).
