@@ -1,0 +1,43 @@
+// Command tspdblint runs tspdb's project-specific analyzer suite (see
+// internal/analysis) over the module and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/tspdblint ./...
+//
+// Patterns default to ./... and resolve relative to the current directory.
+// Findings print in the familiar file:line:col: analyzer: message form;
+// suppressions require a //lint:ignore <analyzer> <reason> directive on or
+// directly above the flagged line.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	prog, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, suppressed, err := prog.Run(analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "tspdblint: %d finding(s) suppressed by //lint:ignore\n", suppressed)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tspdblint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// metricNameRe is the naming contract from PR 8: snake_case with the
+// engine prefix tspdb_ or the daemon prefix tspdbd_.
+var metricNameRe = regexp.MustCompile(`^tspdbd?_[a-z0-9_]+$`)
+
+// registryMethods are the get-or-create constructors on obs.Registry; for
+// all of them the first argument is the metric name and the second the
+// help text.
+var registryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+// ObsReg returns the obsreg analyzer. Every obs.Registry registration must
+// pass a string-literal metric name matching the naming contract and a
+// non-empty literal help string, and a metric name may not be registered
+// under two different kinds anywhere in the module. The Registry panics on
+// a kind mismatch at runtime; this surfaces the collision at lint time
+// instead, and literal names keep /metrics grep-able from the source.
+func ObsReg() *Analyzer {
+	return &Analyzer{
+		Name: "obsreg",
+		Doc:  "obs metric registrations need literal snake_case names, help text, and one kind per name",
+		Run:  runObsReg,
+	}
+}
+
+type obsSite struct {
+	kind string
+	pos  token.Pos
+}
+
+func runObsReg(prog *Program, report Reporter) error {
+	// seen maps metric name -> first registration, across all packages.
+	seen := make(map[string]obsSite)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !registryMethods[sel.Sel.Name] {
+					return true
+				}
+				if !isObsRegistry(pkg, sel.X) || len(call.Args) < 2 {
+					return true
+				}
+				checkRegistration(pkg, call, sel.Sel.Name, seen, report)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isObsRegistry reports whether e is (a pointer to) the obs package's
+// Registry type.
+func isObsRegistry(pkg *Pkg, e ast.Expr) bool {
+	t := pkg.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	n := recvNamed(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+func checkRegistration(pkg *Pkg, call *ast.CallExpr, kind string, seen map[string]obsSite, report Reporter) {
+	name, ok := stringLiteral(call.Args[0])
+	if !ok {
+		report(call.Args[0].Pos(), "metric name must be a string literal (got %s): literal names keep /metrics grep-able and let lint catch collisions",
+			exprString(call.Args[0]))
+		return
+	}
+	if !metricNameRe.MatchString(name) {
+		report(call.Args[0].Pos(), "metric name %q does not match %s", name, metricNameRe)
+	}
+	if help, ok := stringLiteral(call.Args[1]); !ok {
+		report(call.Args[1].Pos(), "metric %q: help must be a string literal", name)
+	} else if help == "" {
+		report(call.Args[1].Pos(), "metric %q: help string is empty", name)
+	}
+	if prev, dup := seen[name]; dup {
+		if prev.kind != kind {
+			report(call.Pos(), "metric %q registered as %s here but as %s at %s; the Registry panics on kind mismatch at runtime",
+				name, kind, prev.kind, pkg.Fset.Position(prev.pos))
+		}
+		return
+	}
+	seen[name] = obsSite{kind: kind, pos: call.Pos()}
+}
+
+// stringLiteral unquotes a string BasicLit, through parens.
+func stringLiteral(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return stringLiteral(e.X)
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			s, err := strconv.Unquote(e.Value)
+			return s, err == nil
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,77 @@
+// Package hotpathalloc seeds each construct the hotpathalloc analyzer bans
+// from //tspdb:kernel functions, next to the compliant kernel shape.
+package hotpathalloc
+
+import "fmt"
+
+// sum reaches for fmt on an error path, which allocates inside the kernel.
+//
+//tspdb:kernel
+func sum(xs []float64) (float64, error) {
+	total := 0.0
+	for i := range xs {
+		total += xs[i]
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("zero total") // want `calls fmt\.Errorf`
+	}
+	return total, nil
+}
+
+// grow appends to a slice with no visible pre-allocation.
+//
+//tspdb:kernel
+func grow(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x) // want `appends to "out" without a visible make`
+	}
+	return out
+}
+
+// box returns a concrete value through an interface result.
+//
+//tspdb:kernel
+func box(x float64) any {
+	return x // want `concrete value \(float64\) converted to interface`
+}
+
+// capture closes over the loop variable.
+//
+//tspdb:kernel
+func capture(xs []int) []func() int {
+	fns := make([]func() int, 0, len(xs))
+	for _, x := range xs {
+		fns = append(fns, func() int { return x }) // want `closure captures loop variable "x"`
+	}
+	return fns
+}
+
+// --- compliant shapes: no diagnostics below this line -------------------
+
+// scale is the approved kernel shape: caller-sized output buffer, no fmt,
+// no boxing, hoisted error value.
+//
+//tspdb:kernel
+func scale(dst, xs []float64, k float64) ([]float64, error) {
+	if k == 0 {
+		return nil, errZeroScale
+	}
+	for _, x := range xs {
+		dst = append(dst, x*k)
+	}
+	return dst, nil
+}
+
+var errZeroScale = fmt.Errorf("zero scale")
+
+// unannotated is free to do all of it: only //tspdb:kernel functions are
+// in scope.
+func unannotated(xs []float64) any {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	fmt.Sprint(out)
+	return out
+}

@@ -1,0 +1,14 @@
+// Package obs mirrors the engine's metric registry surface: get-or-create
+// constructors whose first two arguments are name and help.
+package obs
+
+type Counter struct{}
+
+type Gauge struct{}
+
+// Registry is the fixture stand-in for the real obs.Registry.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return &Gauge{} }

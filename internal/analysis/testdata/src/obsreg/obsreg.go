@@ -1,0 +1,22 @@
+// Package obsreg seeds each registration mistake the obsreg analyzer
+// reports, one compliant registration, and one suppressed finding.
+package obsreg
+
+import "fixtures/obsreg/obs"
+
+var reg = &obs.Registry{}
+
+var (
+	good    = reg.Counter("tspdb_scan_rows_total", "rows visited by columnar scans")
+	badName = reg.Counter("ScanRows", "rows visited")           // want `metric name "ScanRows" does not match`
+	noHelp  = reg.Gauge("tspdb_cache_bytes", "")                // want `help string is empty`
+	dup     = reg.Gauge("tspdb_scan_rows_total", "rows, again") // want `registered as Gauge here but as Counter`
+
+	// The one sanctioned escape hatch: an explained suppression.
+	//lint:ignore obsreg legacy dashboard name, kept until the next breaking release
+	legacy = reg.Counter("LegacyScanRows", "kept for dashboards")
+)
+
+func dynamic(name string) *obs.Counter {
+	return reg.Counter(name, "per-source counter") // want `metric name must be a string literal`
+}

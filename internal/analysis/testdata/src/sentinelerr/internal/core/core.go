@@ -1,0 +1,27 @@
+// Package core mirrors the engine's sentinel-declaring packages: two
+// exported Err* values, one compared the banned way.
+package core
+
+import "errors"
+
+var (
+	// ErrBadArg is mapped by the fixture's StatusFor.
+	ErrBadArg = errors.New("core: invalid argument")
+	// ErrNotReady is deliberately left out of StatusFor.
+	ErrNotReady = errors.New("core: not ready")
+)
+
+// IsBadArg compares a (possibly wrapped) error directly against the
+// sentinel: the bug class sentinelerr exists to catch.
+func IsBadArg(err error) bool {
+	return err == ErrBadArg // want `comparing against sentinel core\.ErrBadArg with ==`
+}
+
+// Classify switches on the error value, which compares with == per case.
+func Classify(err error) int {
+	switch err {
+	case ErrNotReady: // want `switch-case on sentinel core\.ErrNotReady`
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,20 @@
+// Package server mirrors the HTTP error-mapping surface: StatusFor covers
+// ErrBadArg but not ErrNotReady, which the coverage check reports.
+package server
+
+import (
+	"errors"
+
+	"fixtures/sentinelerr/internal/core"
+)
+
+func StatusFor(err error) int { // want `sentinel core\.ErrNotReady has no errors\.Is case`
+	switch {
+	case err == nil:
+		return 200
+	case errors.Is(err, core.ErrBadArg):
+		return 400
+	default:
+		return 500
+	}
+}

@@ -1,0 +1,58 @@
+// Package wal mirrors the engine's durable-file sealing paths: the
+// write-temp/fsync/rename protocol, with and without the fsync.
+package wal
+
+import "os"
+
+// sealBad renames before flushing — the torn-tail hazard walorder exists
+// to catch: a crash after the rename can publish a truncated file.
+func sealBad(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `Rename reached with un-synced writes to "f"`
+}
+
+// sealIndirect hands the file to a helper that buffers into it; the write
+// is invisible here, so the file counts as dirty from the call on.
+func sealIndirect(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fill(f)
+	f.Close()
+	return os.Rename(tmp, dst) // want `Rename reached with un-synced writes to "f"`
+}
+
+func fill(f *os.File) {
+	f.WriteString("payload")
+}
+
+// sealGood is the compliant protocol: write, Sync, Close, Rename.
+func sealGood(tmp, dst string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clean"
@@ -79,6 +80,12 @@ type Engine struct {
 	cfg   Config
 	store *durable.Store // nil for a purely in-memory engine
 
+	// par is the live view-generation worker count. It starts at
+	// cfg.Parallelism and is the one piece of configuration mutable at
+	// runtime (SetParallelism), so it is atomic rather than part of the
+	// otherwise construction-immutable cfg.
+	par atomic.Int64
+
 	mu      sync.Mutex
 	streams map[string]*Stream // open streams, keyed by source table
 	// execCache accumulates hit/miss counters of the short-lived caches
@@ -98,7 +105,9 @@ func NewEngine() *Engine {
 // Config.DataDir is ignored here — durability needs the recovery pass of
 // OpenEngine.
 func NewEngineWith(cfg Config) *Engine {
-	return &Engine{db: storage.NewDB(), cfg: cfg, streams: make(map[string]*Stream)}
+	e := &Engine{db: storage.NewDB(), cfg: cfg, streams: make(map[string]*Stream)}
+	e.par.Store(int64(cfg.Parallelism))
+	return e
 }
 
 // OpenEngine creates an engine honouring the full configuration. With a
@@ -117,7 +126,9 @@ func OpenEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: store.DB(), cfg: cfg, store: store, streams: make(map[string]*Stream)}, nil
+	e := &Engine{db: store.DB(), cfg: cfg, store: store, streams: make(map[string]*Stream)}
+	e.par.Store(int64(cfg.Parallelism))
+	return e, nil
 }
 
 // Durable reports whether the engine writes ahead to a data directory.
@@ -153,10 +164,11 @@ func (e *Engine) Close() error {
 }
 
 // SetParallelism changes the view-generation worker count (see Config).
-func (e *Engine) SetParallelism(n int) { e.cfg.Parallelism = n }
+// Safe to call while queries run: the count is read atomically per query.
+func (e *Engine) SetParallelism(n int) { e.par.Store(int64(n)) }
 
 // Parallelism reports the configured view-generation worker count.
-func (e *Engine) Parallelism() int { return e.cfg.Parallelism }
+func (e *Engine) Parallelism() int { return int(e.par.Load()) }
 
 // DB exposes the underlying catalog (advanced use).
 func (e *Engine) DB() *storage.DB { return e.db }
@@ -178,7 +190,7 @@ func (e *Engine) RegisterTable(name, timeCol, valueCol string, s *timeseries.Ser
 // SELECT, SHOW TABLES, DROP TABLE) against the engine's catalog. CREATE VIEW
 // statements materialise their view with the engine's configured parallelism.
 func (e *Engine) Exec(q string) (*query.Result, error) {
-	return e.finishExec(query.ExecWith(e.db, q, query.Options{Parallelism: e.cfg.Parallelism}))
+	return e.finishExec(query.ExecWith(e.db, q, query.Options{Parallelism: e.Parallelism()}))
 }
 
 // ExecStmt executes an already-parsed statement (see query.Parse). Callers
@@ -186,7 +198,7 @@ func (e *Engine) Exec(q string) (*query.Result, error) {
 // build admission gate — parse once and hand the AST over instead of
 // re-parsing through Exec.
 func (e *Engine) ExecStmt(stmt query.Stmt) (*query.Result, error) {
-	return e.finishExec(query.ExecStmtWith(e.db, stmt, query.Options{Parallelism: e.cfg.Parallelism}))
+	return e.finishExec(query.ExecStmtWith(e.db, stmt, query.Options{Parallelism: e.Parallelism()}))
 }
 
 func (e *Engine) finishExec(res *query.Result, err error) (*query.Result, error) {
@@ -320,7 +332,7 @@ func (e *Engine) OpenStream(cfg StreamConfig) (*Stream, error) {
 	}
 	p := cfg.Parallelism
 	if p == 0 {
-		p = e.cfg.Parallelism
+		p = e.Parallelism()
 	}
 	builder.Parallelism = query.ResolveParallelism(p)
 	var cache *sigmacache.Cache

@@ -52,3 +52,28 @@ func TestSetParallelism(t *testing.T) {
 		t.Fatalf("Parallelism() = %d after SetParallelism(3)", e.Parallelism())
 	}
 }
+
+// TestSetParallelismConcurrent is the regression test for the data race
+// lockcheck surfaced: SetParallelism wrote cfg.Parallelism unsynchronised
+// while Exec and OpenStream read it. The knob is atomic now; under -race
+// (the CI test job) this test fails on the old code.
+func TestSetParallelismConcurrent(t *testing.T) {
+	e := NewEngine()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			e.SetParallelism(i % 4)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := e.Exec("SHOW TABLES"); err != nil {
+			t.Error(err)
+		}
+	}
+	<-done
+	e.SetParallelism(2)
+	if got := e.Parallelism(); got != 2 {
+		t.Fatalf("Parallelism() = %d, want 2", got)
+	}
+}

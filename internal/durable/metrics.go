@@ -64,5 +64,6 @@ type RecoveryStats struct {
 	Duration time.Duration
 }
 
-// RecoveryStats returns what this store's Open replayed.
+// RecoveryStats returns what this store's Open replayed. The stats are
+// written during Open only and immutable afterwards; no lock is needed.
 func (s *Store) RecoveryStats() RecoveryStats { return s.recovery }

@@ -147,7 +147,8 @@ func Open(fs wal.FS, dir string, opt Options) (*Store, error) {
 // loadManifest reconstructs the checkpointed catalog: raw tables read
 // their segments eagerly (ingest needs the watermark immediately), view
 // tables get a lazy loader so opening a large catalog does not read
-// every segment.
+// every segment. Runs inside Open, before the Store is shared with any
+// goroutine, so no lock is held.
 func (s *Store) loadManifest(m *manifest) error {
 	for _, r := range m.Raw {
 		var pts []timeseries.Point
@@ -225,7 +226,8 @@ func (s *Store) viewLoader(name string, want int, segs []string) storage.RowsLoa
 
 // replayWAL applies every log file at or above floor, removes stale files
 // below it (a crashed trim), and returns the sequence number for the new
-// live file — strictly past everything on disk.
+// live file — strictly past everything on disk. Runs inside Open, before
+// the Store is shared with any goroutine, so no lock is held.
 func (s *Store) replayWAL(floor uint64) (uint64, error) {
 	seqs, err := wal.List(s.fs, s.walDir())
 	if err != nil {
@@ -401,6 +403,7 @@ func (s *Store) Reset() error {
 
 // bump stamps a table with a fresh generation so a checkpoint that
 // captured the table before this mutation discards its stale watermark.
+// Caller holds s.wmMu.
 func (s *Store) bump(name string) {
 	s.genSeq++
 	s.gen[name] = s.genSeq
@@ -679,7 +682,8 @@ func (s *Store) Sync() error { return s.log.Sync() }
 
 // Close stops the background checkpointer, runs a final checkpoint so
 // restart replays an empty WAL, detaches the catalog, and closes the
-// log. Safe to call more than once.
+// log. Safe to call more than once: closeErr is written only inside the
+// sync.Once, whose Do orders it before every caller's read — no lock.
 func (s *Store) Close() error {
 	s.closed.Do(func() {
 		close(s.stop)

@@ -31,6 +31,13 @@ func errRange(lo, hi float64) error {
 	return fmt.Errorf("%w: range [%v, %v]", ErrBadArg, lo, hi)
 }
 
+// Hoisted error values: the //tspdb:kernel functions below may not call
+// fmt (hotpathalloc), so their fixed-text errors are built once here.
+var (
+	errNilView  = fmt.Errorf("%w: nil view", ErrBadArg)
+	errZeroMass = fmt.Errorf("%w: zero total probability", ErrBadArg)
+)
+
 // validRange reports whether (lo, hi] is a usable query range (ordered,
 // NaN-free). Hoisted out of the scan loops: the row path re-validates per
 // tuple inside RangeProb, the columnar path validates once per query.
@@ -42,6 +49,8 @@ func validRange(lo, hi float64) bool {
 // tuple whose Omega ranges are rlo[i], rhi[i] with mass prob[i]. Arguments
 // are pre-validated and the span is non-empty (a time group always holds at
 // least one row).
+//
+//tspdb:kernel
 func rangeProbCols(rlo, rhi, prob []float64, lo, hi float64) float64 {
 	total := 0.0
 	rhi = rhi[:len(rlo)]
@@ -85,6 +94,8 @@ func rangeProbCols(rlo, rhi, prob []float64, lo, hi float64) float64 {
 
 // expectedCols is Expected over column slices: probability-weighted range
 // midpoints, normalised by total mass.
+//
+//tspdb:kernel
 func expectedCols(rlo, rhi, prob []float64) (float64, error) {
 	num, den := 0.0, 0.0
 	rhi = rhi[:len(rlo)]
@@ -95,7 +106,7 @@ func expectedCols(rlo, rhi, prob []float64) (float64, error) {
 		den += prob[i]
 	}
 	if den == 0 {
-		return 0, fmt.Errorf("%w: zero total probability", ErrBadArg)
+		return 0, errZeroMass
 	}
 	return num / den, nil
 }
@@ -105,7 +116,7 @@ func expectedCols(rlo, rhi, prob []float64) (float64, error) {
 // (reference [25]) recovered from the probabilistic database.
 func ExpectedSeries(p *storage.ProbTable, tLo, tHi int64) ([]TimeSeriesPoint, error) {
 	if p == nil {
-		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
+		return nil, errNilView
 	}
 	var out []TimeSeriesPoint
 	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
@@ -137,7 +148,7 @@ func ExpectedSeries(p *storage.ProbTable, tLo, tHi int64) ([]TimeSeriesPoint, er
 // [tLo, tHi].
 func ProbSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]TimeSeriesPoint, error) {
 	if p == nil {
-		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
+		return nil, errNilView
 	}
 	var out []TimeSeriesPoint
 	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
@@ -173,9 +184,11 @@ func ProbSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]TimeSer
 // early (the reducer's result is decided). It reports the number of tuples
 // visited before the stop — zero means ErrNoRows territory. Shared scan
 // under the zero-allocation reducers ExpectedCount, AnyInRange, AllInRange.
+//
+//tspdb:kernel
 func scanProbs(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, reduce func(q float64) bool) (int, error) {
 	if p == nil {
-		return 0, fmt.Errorf("%w: nil view", ErrBadArg)
+		return 0, errNilView
 	}
 	n := 0
 	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
@@ -210,7 +223,7 @@ func scanProbs(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, reduce func
 // vector. An empty result means no tuples.
 func probsOver(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]float64, error) {
 	if p == nil {
-		return nil, fmt.Errorf("%w: nil view", ErrBadArg)
+		return nil, errNilView
 	}
 	var out []float64
 	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
@@ -240,6 +253,8 @@ func probsOver(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) ([]float64,
 // ExpectedCount returns the expected number of timestamps in [tLo, tHi]
 // whose true value lies in (lo, hi]: the sum of per-tuple probabilities
 // (linearity of expectation, no independence needed).
+//
+//tspdb:kernel
 func ExpectedCount(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
 	sum := 0.0
 	if _, err := scanProbs(p, tLo, tHi, lo, hi, func(q float64) bool {
@@ -253,6 +268,8 @@ func ExpectedCount(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float6
 
 // AnyInRange returns P(at least one R_t in (lo, hi]) over [tLo, tHi] under
 // tuple independence: 1 - prod(1 - p_t).
+//
+//tspdb:kernel
 func AnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
 	// Work in log space to stay accurate when many tuples are involved.
 	logNone, certain := 0.0, false
@@ -274,6 +291,8 @@ func AnyInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, 
 
 // AllInRange returns P(every R_t in (lo, hi]) over [tLo, tHi] under tuple
 // independence: prod(p_t).
+//
+//tspdb:kernel
 func AllInRange(p *storage.ProbTable, tLo, tHi int64, lo, hi float64) (float64, error) {
 	logAll, impossible := 0.0, false
 	if _, err := scanProbs(p, tLo, tHi, lo, hi, func(q float64) bool {
@@ -324,9 +343,11 @@ func CountAtLeast(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, k int) (
 
 // atGroupCols runs fn on the columnar span of timestamp t, returning
 // ErrNoRows when the view has no tuple at t.
+//
+//tspdb:kernel
 func atGroupCols(p *storage.ProbTable, t int64, fn func(g storage.GroupCols) error) error {
 	if p == nil {
-		return fmt.Errorf("%w: nil view", ErrBadArg)
+		return errNilView
 	}
 	metKernelCalls.Inc()
 	found := false
@@ -345,6 +366,8 @@ func atGroupCols(p *storage.ProbTable, t int64, fn func(g storage.GroupCols) err
 }
 
 // RangeProbAt returns P(lo < R_t <= hi) for the tuple at timestamp t.
+//
+//tspdb:kernel
 func RangeProbAt(p *storage.ProbTable, t int64, lo, hi float64) (float64, error) {
 	var out float64
 	err := atGroupCols(p, t, func(g storage.GroupCols) error {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/density"
+	"repro/internal/durable"
 	"repro/internal/probdb"
 	"repro/internal/query"
 	"repro/internal/sigmacache"
@@ -68,6 +69,11 @@ func StatusFor(err error) int {
 		errors.Is(err, timeseries.ErrBadCSV),
 		errors.Is(err, timeseries.ErrBadWindow):
 		return http.StatusBadRequest
+	case errors.Is(err, durable.ErrBadRecord):
+		// A corrupt commit-log record is engine-side state damage, not a
+		// client mistake. The explicit case keeps the sentinel mapping
+		// exhaustive (tspdblint checks it) while still answering 500.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}

@@ -229,12 +229,16 @@ func New(cfg Config, minSigma, maxSigma float64) (*Cache, error) {
 
 // rungSigma returns the sigma of ladder rung q. Every caller uses this one
 // expression, so recomputed keys compare exactly equal to stored ones.
+//
+//tspdb:kernel
 func (c *Cache) rungSigma(q int) float64 {
 	return c.minSigma * math.Pow(c.ds, float64(q))
 }
 
 // entry returns the grid of rung q under the owning shard's read lock,
 // counting the hit on that shard's counter.
+//
+//tspdb:kernel
 func (c *Cache) entry(q int) *Entry {
 	sh := &c.shards[q/c.perShard]
 	sh.mu.RLock()
@@ -271,6 +275,8 @@ func (c *Cache) Shards() int { return len(c.shards) }
 //
 // Lookup is safe for concurrent use: rung addressing is pure arithmetic, the
 // grid read takes one shard's read lock, and the counters are atomic.
+//
+//tspdb:kernel
 func (c *Cache) Lookup(sigma float64) (*Entry, bool) {
 	if sigma < c.minSigma || sigma > c.maxSigma*(1+1e-12) || math.IsNaN(sigma) {
 		c.misses.Add(1)

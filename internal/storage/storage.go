@@ -971,6 +971,14 @@ func (db *DB) SaveFile(path string) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
+	// Flush before the rename commits the snapshot: a power failure after
+	// an un-synced rename could publish a truncated file over the good
+	// previous snapshot.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return 0, err

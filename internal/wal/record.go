@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"io"
 )
@@ -51,10 +52,10 @@ func ReadRecords(r io.Reader, fn func(payload []byte) error) (n int64, clean boo
 	var payload []byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return n, true, nil
 			}
-			if err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
 				return n, false, nil
 			}
 			return n, false, err
@@ -69,7 +70,7 @@ func ReadRecords(r io.Reader, fn func(payload []byte) error) (n int64, clean boo
 		}
 		payload = payload[:length]
 		if _, err := io.ReadFull(r, payload); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return n, false, nil
 			}
 			return n, false, err
