@@ -22,7 +22,14 @@ import (
 //     a hot loop, the closure itself — to escape)
 //   - append to a slice that is not visibly pre-allocated: the base must
 //     be a parameter (caller-sized) or a local made with an explicit
-//     length/capacity in the same function
+//     length/capacity in the same function (either `x := make(T, n)` or
+//     `var x = make(T, n)`)
+//
+// Worker-pool kernels (e.g. the chunked scan runtime in probdb) pass: a
+// goroutine closure that references only pool state declared once outside
+// any loop captures no loop variable, so the launch loop's `go func() {...}`
+// is allowed as long as per-chunk values are read off a shared cursor or
+// passed as arguments rather than captured from the range clause.
 func HotPathAlloc() *Analyzer {
 	return &Analyzer{
 		Name: "hotpathalloc",
@@ -230,8 +237,8 @@ peeled:
 		fd.Name.Name, id.Name)
 }
 
-// madeWithSize looks for `x := make(T, n)` / `make(T, 0, c)` defining obj
-// inside fd.
+// madeWithSize looks for `x := make(T, n)` / `make(T, 0, c)` or the var
+// form `var x = make(T, n)` defining obj inside fd.
 func madeWithSize(pkg *Pkg, fd *ast.FuncDecl, obj types.Object) bool {
 	if obj == nil {
 		return false
@@ -241,29 +248,45 @@ func madeWithSize(pkg *Pkg, fd *ast.FuncDecl, obj types.Object) bool {
 		if found {
 			return false
 		}
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		for i, lhs := range assign.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok || pkg.Info.Defs[id] != obj && pkg.Info.Uses[id] != obj {
-				continue
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pkg.Info.Defs[id] != obj && pkg.Info.Uses[id] != obj {
+					continue
+				}
+				if i < len(n.Rhs) && makesWithSize(pkg, n.Rhs[i]) {
+					found = true
+				}
 			}
-			if i >= len(assign.Rhs) {
-				continue
-			}
-			if mk, ok := assign.Rhs[i].(*ast.CallExpr); ok {
-				if mid, ok := mk.Fun.(*ast.Ident); ok {
-					if b, ok := pkg.Info.Uses[mid].(*types.Builtin); ok && b.Name() == "make" && len(mk.Args) >= 2 {
-						found = true
-					}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pkg.Info.Defs[name] != obj {
+					continue
+				}
+				if i < len(n.Values) && makesWithSize(pkg, n.Values[i]) {
+					found = true
 				}
 			}
 		}
 		return true
 	})
 	return found
+}
+
+// makesWithSize reports whether e is a make(T, n[, c]) call with an
+// explicit size argument.
+func makesWithSize(pkg *Pkg, e ast.Expr) bool {
+	mk, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	mid, ok := mk.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[mid].(*types.Builtin)
+	return ok && b.Name() == "make" && len(mk.Args) >= 2
 }
 
 // collectLoopVars gathers the objects declared by for/range clauses.

@@ -47,6 +47,18 @@ func capture(xs []int) []func() int {
 	return fns
 }
 
+// poolCapture launches workers that close over the range variable — the
+// per-iteration capture escapes with each goroutine.
+//
+//tspdb:kernel
+func poolCapture(chunks []int, run func(int)) {
+	for _, c := range chunks {
+		go func() {
+			run(c) // want `closure captures loop variable "c"`
+		}()
+	}
+}
+
 // --- compliant shapes: no diagnostics below this line -------------------
 
 // scale is the approved kernel shape: caller-sized output buffer, no fmt,
@@ -64,6 +76,38 @@ func scale(dst, xs []float64, k float64) ([]float64, error) {
 }
 
 var errZeroScale = fmt.Errorf("zero scale")
+
+// growVar pre-allocates with the var form of make, which the analyzer
+// accepts like the := form.
+//
+//tspdb:kernel
+func growVar(xs []float64) []float64 {
+	var out = make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// pool is the approved worker-pool shape (the chunked scan runtime):
+// goroutine closures reference only pool state declared outside any loop —
+// chunk indices come off the shared cursor inside the closure, so nothing
+// per-iteration is captured.
+//
+//tspdb:kernel
+func pool(nchunks, workers int, cursor *int64, claim func(*int64) int, run func(int)) {
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				ci := claim(cursor)
+				if ci >= nchunks {
+					return
+				}
+				run(ci)
+			}
+		}()
+	}
+}
 
 // unannotated is free to do all of it: only //tspdb:kernel functions are
 // in scope.

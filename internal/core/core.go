@@ -51,9 +51,10 @@ var (
 
 // Config tunes an Engine.
 type Config struct {
-	// Parallelism is the worker count for offline Omega-view generation:
-	// 1 builds views sequentially, 0 selects GOMAXPROCS. Results are
-	// identical at every setting; only wall-clock time changes.
+	// Parallelism is the worker count for offline Omega-view generation and
+	// for the chunked read kernels behind EXPECTED, PROB and COUNT:
+	// 1 runs sequentially, 0 selects GOMAXPROCS. Results are identical at
+	// every setting; only wall-clock time changes.
 	Parallelism int
 
 	// DataDir, when non-empty, makes the engine durable: OpenEngine
@@ -80,10 +81,10 @@ type Engine struct {
 	cfg   Config
 	store *durable.Store // nil for a purely in-memory engine
 
-	// par is the live view-generation worker count. It starts at
-	// cfg.Parallelism and is the one piece of configuration mutable at
-	// runtime (SetParallelism), so it is atomic rather than part of the
-	// otherwise construction-immutable cfg.
+	// par is the live worker count for view generation and parallel read
+	// kernels. It starts at cfg.Parallelism and is the one piece of
+	// configuration mutable at runtime (SetParallelism), so it is atomic
+	// rather than part of the otherwise construction-immutable cfg.
 	par atomic.Int64
 
 	mu      sync.Mutex
@@ -163,11 +164,12 @@ func (e *Engine) Close() error {
 	return e.store.Close()
 }
 
-// SetParallelism changes the view-generation worker count (see Config).
-// Safe to call while queries run: the count is read atomically per query.
+// SetParallelism changes the worker count for view generation and the
+// parallel read kernels (see Config). Safe to call while queries run: the
+// count is read atomically per query.
 func (e *Engine) SetParallelism(n int) { e.par.Store(int64(n)) }
 
-// Parallelism reports the configured view-generation worker count.
+// Parallelism reports the configured worker count (0 = all cores).
 func (e *Engine) Parallelism() int { return int(e.par.Load()) }
 
 // DB exposes the underlying catalog (advanced use).
@@ -201,10 +203,31 @@ func (e *Engine) ExecStmt(stmt query.Stmt) (*query.Result, error) {
 	return e.finishExec(query.ExecStmtWith(e.db, stmt, query.Options{Parallelism: e.Parallelism()}))
 }
 
+// ExecBatch parses and executes a semicolon-separated batch of statements.
+// Consecutive EXPECTED / PROB / COUNT aggregates over one view, window and
+// value range are fused into a single column scan (see query.ExecBatch);
+// results are identical to executing the statements one at a time. The
+// first failing statement aborts the batch, returning the results completed
+// before it alongside the error.
+func (e *Engine) ExecBatch(q string) ([]*query.Result, error) {
+	results, err := query.ExecBatch(e.db, q, query.Options{Parallelism: e.Parallelism()})
+	for _, res := range results {
+		e.absorbCacheStats(res)
+	}
+	return results, err
+}
+
 func (e *Engine) finishExec(res *query.Result, err error) (*query.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.absorbCacheStats(res)
+	return res, nil
+}
+
+// absorbCacheStats folds a discarded build cache's hit/miss counters into
+// the engine-lifetime totals.
+func (e *Engine) absorbCacheStats(res *query.Result) {
 	if st := res.CacheStats; st != nil {
 		e.mu.Lock()
 		e.execCache.Hits += st.Hits
@@ -212,7 +235,6 @@ func (e *Engine) finishExec(res *query.Result, err error) (*query.Result, error)
 		e.mu.Unlock()
 		metCachesDiscarded.Inc()
 	}
-	return res, nil
 }
 
 // RecoveryStats reports what the durable store replayed when the engine

@@ -93,18 +93,12 @@ func rangeProbCols(rlo, rhi, prob []float64, lo, hi float64) float64 {
 }
 
 // expectedCols is Expected over column slices: probability-weighted range
-// midpoints, normalised by total mass.
+// midpoints, normalised by total mass. The accumulation loop lives in
+// expectedAccumCols (parallel.go) so the fused pass shares it verbatim.
 //
 //tspdb:kernel
 func expectedCols(rlo, rhi, prob []float64) (float64, error) {
-	num, den := 0.0, 0.0
-	rhi = rhi[:len(rlo)]
-	prob = prob[:len(rlo)]
-	for i := range rlo {
-		mid := (rlo[i] + rhi[i]) / 2
-		num += mid * prob[i]
-		den += prob[i]
-	}
+	num, den := expectedAccumCols(rlo, rhi, prob)
 	if den == 0 {
 		return 0, errZeroMass
 	}

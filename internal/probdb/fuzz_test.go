@@ -163,6 +163,29 @@ func FuzzColumnarKernels(f *testing.F) {
 			t.Fatalf("ExceedanceCountDistribution: columnar (%v, %v) vs oracle (%v, %v)", gotPMF, errPMF, wantPMF, werrPMF)
 		}
 
+		// Fused pass vs the three independent kernels it replaces, both on
+		// the sequential fast path and with the worker pool forced on. On
+		// success every statistic must match bit-for-bit; on failure at
+		// least one independent kernel must have failed too (the fused pass
+		// is all-or-nothing across its statistics).
+		oldCutoff := parCutoffRows
+		for _, workers := range []int{1, 3} {
+			parCutoffRows = 0
+			fr, _, errF := FusedSeries(p, tLo, tHi, qlo, qhi, FusedStats{Expected: true, Prob: true, Count: true}, workers)
+			parCutoffRows = oldCutoff
+			if errF == nil {
+				if errE != nil || errP != nil || errC != nil {
+					t.Fatalf("fused(w=%d) succeeded; independents errored (%v, %v, %v)", workers, errE, errP, errC)
+				}
+				if !reflect.DeepEqual(fr.Expected, gotE) || !reflect.DeepEqual(fr.Prob, gotP) || fr.Count != gotC {
+					t.Fatalf("fused(w=%d) diverged: (%v, %v, %v) vs (%v, %v, %v)",
+						workers, fr.Expected, fr.Prob, fr.Count, gotE, gotP, gotC)
+				}
+			} else if errE == nil && errP == nil && errC == nil {
+				t.Fatalf("fused(w=%d) errored %v; every independent kernel succeeded", workers, errF)
+			}
+		}
+
 		at := tLo
 		gotAt, errAt := RangeProbAt(p, at, qlo, qhi)
 		wantAt, werrAt := rowRangeProbAt(p, at, qlo, qhi)

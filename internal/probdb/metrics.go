@@ -12,6 +12,16 @@ var (
 		"Distinct timestamps in ranges handed to the kernels.")
 	metRowsScanned = obs.Default.Counter("tspdb_probdb_rows_scanned_total",
 		"Rows in ranges handed to the kernels (early-stopping reducers may visit fewer).")
+	metParScans = obs.Default.Counter("tspdb_probdb_parallel_scans_total",
+		"Range scans executed by the chunked worker pool.")
+	metSeqScans = obs.Default.Counter("tspdb_probdb_sequential_scans_total",
+		"Range scans served inline (workers <= 1, or the window sat below the chunk cutoff).")
+	metFusedScans = obs.Default.Counter("tspdb_probdb_fused_scans_total",
+		"Fused passes computing two or more statistics in one scan.")
+	metScanWorkers = obs.Default.Histogram("tspdb_probdb_scan_workers",
+		"Workers per pooled range scan.", []float64{2, 4, 8, 16, 32})
+	metScanChunks = obs.Default.Histogram("tspdb_probdb_scan_chunks",
+		"Chunks per pooled range scan.", []float64{2, 4, 8, 16, 32, 64, 128})
 )
 
 // noteScan accounts one kernel invocation over a group span. One call per
@@ -23,6 +33,18 @@ func noteScan(groups []storage.TimeGroup) {
 		first, last := groups[0], groups[n-1]
 		metRowsScanned.Add(int64(last.Off + last.Len - first.Off))
 	}
+}
+
+// notePlan accounts how one range scan executed: pooled scans also record
+// their worker and chunk counts. One call per query, nothing per chunk.
+func notePlan(plan ScanPlan) {
+	if plan.Workers > 1 {
+		metParScans.Inc()
+		metScanWorkers.Observe(float64(plan.Workers))
+		metScanChunks.Observe(float64(plan.Chunks))
+		return
+	}
+	metSeqScans.Inc()
 }
 
 // noteScanGroup accounts a point-query kernel touching one group.

@@ -1,0 +1,343 @@
+package probdb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// Parallel partitioned column scans and the fused multi-statistic pass.
+//
+// The chunked runtime below spreads one RangeCols span over a small worker
+// pool: storage.ChunkGroups splits the group index into contiguous,
+// row-balanced chunks, workers claim chunks off an atomic cursor, and every
+// chunk writes its per-group results into preallocated, disjoint slots of
+// the output — so the merged result is a pure function of the input, not of
+// scheduling. Cross-group reductions (ExpectedCount's sum) are folded
+// sequentially in group order after the pool joins, which replays the exact
+// floating-point addition sequence of the single-threaded kernel. Together
+// these give the same guarantee shape as the PR 1 parallel view builder:
+// byte-identical output at any worker count.
+//
+// FusedSeries is the second half: one pass over colLo/colHi/colProb that
+// computes any subset of {ExpectedSeries, ProbSeries, ExpectedCount}
+// simultaneously, per accumulator performing the same operations in the
+// same order as the three independent kernels — a dashboard issuing all
+// three statistics pays one scan instead of three. ExpectedSeriesPar,
+// ProbSeriesPar and ExpectedCountPar are its single-statistic projections.
+//
+// AnyInRange and AllInRange stay sequential on purpose: their early-stop
+// reducers decide the answer mid-scan, which chunking would forfeit.
+
+// parCutoffRows is the sequential fast-path threshold: a window covering
+// fewer rows runs on the calling goroutine, so small queries pay zero pool
+// overhead. A variable (not a const) so tests can force the pool onto small
+// tables; production code never mutates it.
+var parCutoffRows = 8192
+
+// parChunksPerWorker over-partitions the span relative to the worker count
+// so an unlucky split (one chunk of dense groups) cannot serialise the
+// scan: idle workers steal the remaining chunks off the cursor.
+const parChunksPerWorker = 4
+
+// errNoStats rejects a fused pass that requests no statistics.
+var errNoStats = fmt.Errorf("%w: no statistics requested", ErrBadArg)
+
+// ScanPlan reports how a kernel invocation executed, for explain output:
+// Workers goroutines over Chunks contiguous group chunks. {1, 1} is the
+// sequential fast path.
+type ScanPlan struct {
+	Workers int
+	Chunks  int
+}
+
+// seqPlan is the fast-path plan.
+var seqPlan = ScanPlan{Workers: 1, Chunks: 1}
+
+// forEachGroupPar runs runChunk(lo, hi) over contiguous sub-spans of groups
+// that concatenate to [0, len(groups)), either inline (sequential fast
+// path) or on a worker pool. runChunk must write only into output slots
+// owned by its span. On failure the error of the earliest failing chunk is
+// returned — chunks before it all succeeded, so it is the same error the
+// sequential left-to-right scan would have hit first.
+//
+// Callers invoke this inside a RangeCols callback: the table read lock is
+// held, and the pool joins before returning, so no worker ever touches the
+// column slices after the callback ends.
+//
+//tspdb:kernel
+func forEachGroupPar(groups []storage.TimeGroup, workers int, runChunk func(lo, hi int) error) (ScanPlan, error) {
+	if workers <= 1 || storage.SpanRows(groups) < parCutoffRows {
+		notePlan(seqPlan)
+		return seqPlan, runChunk(0, len(groups))
+	}
+	chunks := storage.ChunkGroups(groups, workers*parChunksPerWorker)
+	if len(chunks) <= 1 {
+		notePlan(seqPlan)
+		return seqPlan, runChunk(0, len(groups))
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var (
+		cursor atomic.Int64 // next unclaimed chunk
+		failed atomic.Int64 // lowest failing chunk index; len(chunks) = none
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, len(chunks))
+	failed.Store(int64(len(chunks)))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(cursor.Add(1)) - 1
+				// Stop claiming past the end, or past a failed chunk: the
+				// sequential scan would never have reached those groups.
+				if ci >= len(chunks) || int64(ci) > failed.Load() {
+					return
+				}
+				ch := chunks[ci]
+				err := runChunk(ch.Lo, ch.Hi)
+				if err == nil {
+					continue
+				}
+				errs[ci] = err
+				for {
+					cur := failed.Load()
+					if int64(ci) >= cur || failed.CompareAndSwap(cur, int64(ci)) {
+						break
+					}
+				}
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	plan := ScanPlan{Workers: workers, Chunks: len(chunks)}
+	notePlan(plan)
+	if i := failed.Load(); int(i) < len(chunks) {
+		return plan, errs[i]
+	}
+	return plan, nil
+}
+
+// expectedAccumCols is expectedCols's accumulation loop without the
+// normalisation: the fused chunk needs the raw (num, den) pair to decide
+// zero-mass itself.
+//
+//tspdb:kernel
+func expectedAccumCols(rlo, rhi, prob []float64) (num, den float64) {
+	rhi = rhi[:len(rlo)]
+	prob = prob[:len(rlo)]
+	for i := range rlo {
+		mid := (rlo[i] + rhi[i]) / 2
+		num += mid * prob[i]
+		den += prob[i]
+	}
+	return num, den
+}
+
+// fusedChunk evaluates one contiguous chunk of groups into preallocated,
+// chunk-owned output slots: outE[i]/outP[i]/outQ[i] belong to groups[i].
+// A nil slice deselects that statistic. Each selected statistic runs the
+// standalone group loop over the group's rows — the second loop hits rows
+// still hot in L1 (groups are a handful of rows), so a fused pass pays the
+// column memory traffic once and each statistic is bit-identical to its
+// standalone kernel by construction. Like the sequential ExpectedSeries,
+// the first zero-mass group stops the chunk.
+//
+//tspdb:kernel
+func fusedChunk(groups []storage.TimeGroup, c storage.Cols, lo, hi float64, outE, outP []TimeSeriesPoint, outQ []float64) error {
+	wantE := outE != nil
+	wantQ := outP != nil || outQ != nil
+	for i, g := range groups {
+		end := g.Off + g.Len
+		rlo, rhi, pm := c.Lo[g.Off:end], c.Hi[g.Off:end], c.Prob[g.Off:end]
+		var num, den, q float64
+		switch {
+		case wantE && wantQ:
+			num, den = expectedAccumCols(rlo, rhi, pm)
+			q = rangeProbCols(rlo, rhi, pm, lo, hi)
+		case wantE:
+			num, den = expectedAccumCols(rlo, rhi, pm)
+		default:
+			q = rangeProbCols(rlo, rhi, pm, lo, hi)
+		}
+		if wantE {
+			if den == 0 {
+				return errZeroMass
+			}
+			outE[i] = TimeSeriesPoint{T: g.T, Value: num / den}
+		}
+		if outP != nil {
+			outP[i] = TimeSeriesPoint{T: g.T, Value: q}
+		}
+		if outQ != nil {
+			outQ[i] = q
+		}
+	}
+	return nil
+}
+
+// FusedStats selects which statistics one FusedSeries pass computes.
+type FusedStats struct {
+	Expected bool // expected-value series (ExpectedSeries)
+	Prob     bool // P(lo < R_t <= hi) series (ProbSeries)
+	Count    bool // expected number of tuples in (lo, hi] (ExpectedCount)
+}
+
+// n reports how many statistics are selected.
+func (s FusedStats) n() int {
+	n := 0
+	if s.Expected {
+		n++
+	}
+	if s.Prob {
+		n++
+	}
+	if s.Count {
+		n++
+	}
+	return n
+}
+
+// FusedResult holds the statistics of one fused pass; deselected fields
+// stay zero.
+type FusedResult struct {
+	Expected []TimeSeriesPoint
+	Prob     []TimeSeriesPoint
+	Count    float64
+}
+
+// FusedSeries computes any subset of {ExpectedSeries, ProbSeries,
+// ExpectedCount} over [tLo, tHi] in a single chunked column scan. lo/hi are
+// the value range of the Prob and Count statistics (ignored, and not
+// validated, when neither is selected — like ExpectedSeries, which takes no
+// range). Results are byte-identical to the standalone kernels at any
+// worker count; workers <= 1, or a window below the chunk cutoff, runs
+// sequentially on the calling goroutine.
+//
+// Error shape matches the standalone kernels: nil view and an empty
+// selection are ErrBadArg, an empty window is ErrNoRows and wins over an
+// invalid value range, an invalid range (when Prob or Count is selected)
+// and a zero-mass group (when Expected is selected) are ErrBadArg. The
+// pass is all-or-nothing — one statistic's error fails the whole call.
+func FusedSeries(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, want FusedStats, workers int) (*FusedResult, ScanPlan, error) {
+	var plan ScanPlan
+	if p == nil {
+		return nil, plan, errNilView
+	}
+	if want.n() == 0 {
+		return nil, plan, errNoStats
+	}
+	if want.n() > 1 {
+		metFusedScans.Inc()
+	}
+	var res FusedResult
+	found := false
+	err := p.RangeCols(tLo, tHi, func(groups []storage.TimeGroup, c storage.Cols) error {
+		noteScan(groups)
+		if len(groups) == 0 {
+			return nil
+		}
+		found = true
+		// Validation sits behind the empty-window check on purpose: like
+		// the sequential kernels, a window with no tuples reports ErrNoRows
+		// even when lo/hi are malformed.
+		if (want.Prob || want.Count) && !validRange(lo, hi) {
+			return errRange(lo, hi)
+		}
+		var outE, outP []TimeSeriesPoint
+		var outQ []float64
+		if want.Expected {
+			outE = make([]TimeSeriesPoint, len(groups))
+		}
+		if want.Prob {
+			outP = make([]TimeSeriesPoint, len(groups))
+		}
+		// Count shares Prob's per-group q: when both are selected the fold
+		// below reads the Prob series instead of a separate scratch lane.
+		if want.Count && !want.Prob {
+			outQ = make([]float64, len(groups))
+		}
+		var err error
+		plan, err = forEachGroupPar(groups, workers, func(gl, gh int) error {
+			var e, pr []TimeSeriesPoint
+			var qs []float64
+			if outE != nil {
+				e = outE[gl:gh]
+			}
+			if outP != nil {
+				pr = outP[gl:gh]
+			}
+			if outQ != nil {
+				qs = outQ[gl:gh]
+			}
+			return fusedChunk(groups[gl:gh], c, lo, hi, e, pr, qs)
+		})
+		if err != nil {
+			return err
+		}
+		res.Expected, res.Prob = outE, outP
+		if want.Count {
+			// Sequential in-order fold: the exact addition sequence of the
+			// single-threaded ExpectedCount, so the sum is bit-identical at
+			// any worker count. The parallel phase only filled the
+			// per-group terms.
+			sum := 0.0
+			if outQ != nil {
+				for _, q := range outQ {
+					sum += q
+				}
+			} else {
+				for i := range outP {
+					sum += outP[i].Value
+				}
+			}
+			res.Count = sum
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, plan, err
+	}
+	if !found {
+		return nil, plan, ErrNoRows
+	}
+	return &res, plan, nil
+}
+
+// ExpectedSeriesPar is ExpectedSeries on the chunked worker pool: identical
+// output bytes (values and error shape) at any worker count, plus the scan
+// plan for explain output.
+func ExpectedSeriesPar(p *storage.ProbTable, tLo, tHi int64, workers int) ([]TimeSeriesPoint, ScanPlan, error) {
+	res, plan, err := FusedSeries(p, tLo, tHi, 0, 0, FusedStats{Expected: true}, workers)
+	if err != nil {
+		return nil, plan, err
+	}
+	return res.Expected, plan, nil
+}
+
+// ProbSeriesPar is ProbSeries on the chunked worker pool.
+func ProbSeriesPar(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, workers int) ([]TimeSeriesPoint, ScanPlan, error) {
+	res, plan, err := FusedSeries(p, tLo, tHi, lo, hi, FusedStats{Prob: true}, workers)
+	if err != nil {
+		return nil, plan, err
+	}
+	return res.Prob, plan, nil
+}
+
+// ExpectedCountPar is ExpectedCount on the chunked worker pool. The
+// per-group probabilities are computed in parallel; the sum folds
+// sequentially in group order, so the result is bit-identical to the
+// sequential kernel.
+func ExpectedCountPar(p *storage.ProbTable, tLo, tHi int64, lo, hi float64, workers int) (float64, ScanPlan, error) {
+	res, plan, err := FusedSeries(p, tLo, tHi, lo, hi, FusedStats{Count: true}, workers)
+	if err != nil {
+		return 0, plan, err
+	}
+	return res.Count, plan, nil
+}

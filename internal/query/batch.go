@@ -1,0 +1,193 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/probdb"
+	"repro/internal/storage"
+)
+
+var metBatchFusions = obs.Default.Counter("tspdb_query_batch_fusions_total",
+	"Statement runs in a batch served by one fused scan.")
+
+// ExecBatch parses and executes a semicolon-separated batch of statements.
+// Results arrive in statement order; the first failing statement aborts the
+// batch, returning the results completed before it alongside the error.
+//
+// Consecutive EXPECTED / PROB / COUNT aggregates over the same view, the
+// same time window and (for PROB and COUNT) the same value range are fused
+// into a single chunked column scan — the batch pays one pass over the
+// columns instead of one per statement. Fusion is invisible in the results:
+// values, error shapes and the failing statement's position are identical
+// to executing the statements one at a time; only Stats.Path says "fused".
+func ExecBatch(db *storage.DB, input string, opts Options) ([]*Result, error) {
+	stmts, err := ParseBatch(input)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStmts(db, stmts, opts)
+}
+
+// ParseBatch parses a semicolon-separated batch into its statements. Blank
+// segments (a trailing semicolon, doubled separators) are skipped. The
+// language has no string literals, so ';' never occurs inside a statement.
+func ParseBatch(input string) ([]Stmt, error) {
+	parts := strings.Split(input, ";")
+	stmts := make([]Stmt, 0, len(parts))
+	for _, part := range parts {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		stmt, err := Parse(part)
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", len(stmts)+1, err)
+		}
+		stmts = append(stmts, stmt)
+	}
+	return stmts, nil
+}
+
+// ExecStmts executes parsed statements in order, fusing eligible runs. See
+// ExecBatch for the result and error contract.
+func ExecStmts(db *storage.DB, stmts []Stmt, opts Options) ([]*Result, error) {
+	results := make([]*Result, 0, len(stmts))
+	for i := 0; i < len(stmts); {
+		if run := fusedRunLen(stmts[i:]); run >= 2 {
+			if rs, ok := tryFusedRun(db, stmts[i:i+run], opts); ok {
+				results = append(results, rs...)
+				i += run
+				continue
+			}
+		}
+		res, err := ExecStmtWith(db, stmts[i], opts)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+		i++
+	}
+	return results, nil
+}
+
+// fusedStatFor maps a fusible aggregate name to its FusedSeries selector.
+func fusedStatFor(name string) (probdb.FusedStats, bool) {
+	switch name {
+	case "EXPECTED":
+		return probdb.FusedStats{Expected: true}, true
+	case "PROB":
+		return probdb.FusedStats{Prob: true}, true
+	case "COUNT":
+		return probdb.FusedStats{Count: true}, true
+	}
+	return probdb.FusedStats{}, false
+}
+
+// fusibleSelect reports whether a statement is an aggregate FusedSeries can
+// serve. ANY and ALLIN are excluded: their early-stop reducers have no
+// columnar fused form.
+func fusibleSelect(st Stmt) (*SelectStmt, bool) {
+	s, ok := st.(*SelectStmt)
+	if !ok || s.Agg == nil {
+		return nil, false
+	}
+	_, ok = fusedStatFor(s.Agg.Name)
+	return s, ok
+}
+
+func sameWindow(a, b *TimeRange) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || (a.Lo == b.Lo && a.Hi == b.Hi)
+}
+
+// fusedRunLen measures the maximal fusible prefix of stmts: consecutive
+// fusible aggregates over one table and one time window, where every
+// range-taking statement (PROB, COUNT) agrees on (lo, hi). EXPECTED takes
+// no range, so it never constrains the run's range.
+func fusedRunLen(stmts []Stmt) int {
+	first, ok := fusibleSelect(stmts[0])
+	if !ok {
+		return 0
+	}
+	hasRange := first.Agg.Name != "EXPECTED"
+	lo, hi := first.Agg.Lo, first.Agg.Hi
+	n := 1
+	for n < len(stmts) {
+		s, ok := fusibleSelect(stmts[n])
+		if !ok || !strings.EqualFold(s.Table, first.Table) || !sameWindow(s.Where, first.Where) {
+			break
+		}
+		if s.Agg.Name != "EXPECTED" {
+			if !hasRange {
+				hasRange, lo, hi = true, s.Agg.Lo, s.Agg.Hi
+			} else if s.Agg.Lo != lo || s.Agg.Hi != hi {
+				break
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// tryFusedRun executes a fusible run as one FusedSeries pass and maps the
+// result back onto per-statement Results. ok=false tells the caller to
+// re-execute the run statement-at-a-time: the table is not a view, or the
+// pass failed — per-statement execution then reproduces the exact unfused
+// error at the exact statement, so fusion never changes batch semantics.
+func tryFusedRun(db *storage.DB, stmts []Stmt, opts Options) ([]*Result, bool) {
+	start := time.Now()
+	sels := make([]*SelectStmt, len(stmts))
+	var want probdb.FusedStats
+	lo, hi := 0.0, 0.0
+	for i, st := range stmts {
+		s, _ := fusibleSelect(st)
+		sels[i] = s
+		w, _ := fusedStatFor(s.Agg.Name)
+		want.Expected = want.Expected || w.Expected
+		want.Prob = want.Prob || w.Prob
+		want.Count = want.Count || w.Count
+		if s.Agg.Name != "EXPECTED" {
+			lo, hi = s.Agg.Lo, s.Agg.Hi
+		}
+	}
+	pv, err := db.View(sels[0].Table)
+	if err != nil {
+		return nil, false
+	}
+	tLo, tHi := int64(math.MinInt64), int64(math.MaxInt64)
+	if w := sels[0].Where; w != nil {
+		tLo, tHi = w.Lo, w.Hi
+	}
+	fr, plan, err := probdb.FusedSeries(pv, tLo, tHi, lo, hi, want, ResolveParallelism(opts.Parallelism))
+	if err != nil {
+		return nil, false
+	}
+	metBatchFusions.Inc()
+	groups, rows := pv.RangeSize(tLo, tHi)
+	elapsed := obs.ObserveSince(metQuerySeconds, start)
+	results := make([]*Result, len(sels))
+	for i, s := range sels {
+		var res *Result
+		switch s.Agg.Name {
+		case "EXPECTED":
+			res = seriesResult("expected", fr.Expected, s.Limit)
+		case "PROB":
+			res = seriesResult("prob", fr.Prob, s.Limit)
+		default: // COUNT
+			res = scalarResult("count", fr.Count)
+		}
+		res.Elapsed = elapsed
+		res.Stats = Stats{Statement: "select", Path: "fused",
+			Groups: groups, Rows: rows,
+			Workers: plan.Workers, Chunks: plan.Chunks,
+			ExecNs: elapsed.Nanoseconds()}
+		results[i] = res
+		statementCounter("select").Inc()
+	}
+	return results, true
+}

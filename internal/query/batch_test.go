@@ -1,0 +1,173 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/probdb"
+)
+
+// The windows used by the batch tests sit far below the parallel cutoff, so
+// fused passes run on the sequential fast path — these tests pin down
+// semantics, not speed; kernel parity at real worker counts lives in
+// internal/probdb.
+
+func TestParseBatch(t *testing.T) {
+	stmts, err := ParseBatch("SHOW TABLES; ;SELECT EXPECTED FROM pv;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("statements = %d, want 2", len(stmts))
+	}
+	if _, ok := stmts[0].(*ShowTablesStmt); !ok {
+		t.Errorf("stmt 0 = %T", stmts[0])
+	}
+	if _, ok := stmts[1].(*SelectStmt); !ok {
+		t.Errorf("stmt 1 = %T", stmts[1])
+	}
+
+	if _, err := ParseBatch("SHOW TABLES; SELECT BOGUS"); err == nil {
+		t.Error("bad second statement accepted")
+	}
+}
+
+// TestExecBatchMatchesIndividual is the fusion contract: a fused batch's
+// per-statement output must be indistinguishable from executing the same
+// statements one at a time (only Stats.Path may differ).
+func TestExecBatchMatchesIndividual(t *testing.T) {
+	db := newTestDB(t, 300)
+	if _, err := Exec(db, "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=8 WINDOW 90 FROM raw_values WHERE t >= 100 AND t <= 120"); err != nil {
+		t.Fatal(err)
+	}
+	stmts := []string{
+		"SELECT EXPECTED FROM pv WHERE t >= 100 AND t <= 110",
+		"SELECT PROB(-100, 100) FROM pv WHERE t >= 100 AND t <= 110",
+		"SELECT COUNT(-100, 100) FROM pv WHERE t >= 100 AND t <= 110",
+	}
+	batch := stmts[0] + "; " + stmts[1] + "; " + stmts[2]
+
+	results, err := ExecBatch(db, batch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	for i, q := range stmts {
+		solo, err := Exec(db, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got := results[i]
+		if !reflect.DeepEqual(got.Columns, solo.Columns) || !reflect.DeepEqual(got.Rows, solo.Rows) {
+			t.Errorf("statement %d: fused output diverged:\nfused %v %v\nsolo  %v %v",
+				i, got.Columns, got.Rows, solo.Columns, solo.Rows)
+		}
+		if got.Stats.Path != "fused" {
+			t.Errorf("statement %d: path = %q, want fused", i, got.Stats.Path)
+		}
+		if got.Stats.Statement != "select" {
+			t.Errorf("statement %d: statement = %q", i, got.Stats.Statement)
+		}
+		if got.Stats.Workers < 1 || got.Stats.Chunks < 1 {
+			t.Errorf("statement %d: plan %d/%d", i, got.Stats.Workers, got.Stats.Chunks)
+		}
+		if got.Stats.Groups != solo.Stats.Groups || got.Stats.Rows != solo.Stats.Rows {
+			t.Errorf("statement %d: scanned %d/%d, solo %d/%d",
+				i, got.Stats.Groups, got.Stats.Rows, solo.Stats.Groups, solo.Stats.Rows)
+		}
+	}
+}
+
+// TestExecBatchRunBoundaries checks which statement sequences fuse: only
+// consecutive fusible aggregates over the same view, window and range.
+func TestExecBatchRunBoundaries(t *testing.T) {
+	db := newTestDB(t, 300)
+	if _, err := Exec(db, "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=8 WINDOW 90 FROM raw_values WHERE t >= 100 AND t <= 120"); err != nil {
+		t.Fatal(err)
+	}
+
+	// SHOW TABLES breaks the run; the differing value range splits PROB off
+	// the EXPECTED+COUNT pair... but EXPECTED imposes no range, so
+	// EXPECTED;PROB(a,b);COUNT(c,d) fuses the first two only.
+	results, err := ExecBatch(db,
+		"SHOW TABLES;"+
+			"SELECT EXPECTED FROM pv WHERE t >= 100 AND t <= 110;"+
+			"SELECT PROB(-100, 100) FROM pv WHERE t >= 100 AND t <= 110;"+
+			"SELECT COUNT(-5, 5) FROM pv WHERE t >= 100 AND t <= 110",
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	wantPaths := []string{"meta", "fused", "fused", "columnar"}
+	for i, want := range wantPaths {
+		if results[i].Stats.Path != want {
+			t.Errorf("statement %d: path = %q, want %q", i, results[i].Stats.Path, want)
+		}
+	}
+
+	// Different windows never fuse.
+	results, err = ExecBatch(db,
+		"SELECT EXPECTED FROM pv WHERE t >= 100 AND t <= 110;"+
+			"SELECT EXPECTED FROM pv WHERE t >= 100 AND t <= 111",
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Stats.Path != "columnar" {
+			t.Errorf("statement %d: path = %q, want columnar", i, res.Stats.Path)
+		}
+	}
+}
+
+// TestExecBatchErrorFallback: when the fused pass fails, the run re-executes
+// statement-at-a-time, so the batch reports the same partial results and the
+// same error at the same statement as unfused execution.
+func TestExecBatchErrorFallback(t *testing.T) {
+	db := newTestDB(t, 300)
+	if _, err := Exec(db, "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=1, n=8 WINDOW 90 FROM raw_values WHERE t >= 100 AND t <= 120"); err != nil {
+		t.Fatal(err)
+	}
+
+	// An inverted PROB range never survives the parser, so build the run as
+	// an AST: the fused pass fails on the bad range, the fallback runs
+	// EXPECTED alone (succeeds, columnar) then hits the same ErrBadArg on
+	// the PROB statement.
+	win := &TimeRange{Lo: 100, Hi: 110}
+	results, err := ExecStmts(db, []Stmt{
+		&SelectStmt{Table: "pv", Agg: &AggregateSpec{Name: "EXPECTED"}, Where: win},
+		&SelectStmt{Table: "pv", Agg: &AggregateSpec{Name: "PROB", Lo: 5, Hi: -5, HasRange: true}, Where: win},
+	}, Options{})
+	if !errors.Is(err, probdb.ErrBadArg) {
+		t.Fatalf("err = %v, want ErrBadArg", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("partial results = %d, want 1", len(results))
+	}
+	if results[0].Stats.Path != "columnar" {
+		t.Errorf("fallback path = %q, want columnar", results[0].Stats.Path)
+	}
+
+	// An empty window fails the whole run with ErrNoRows — same shape as
+	// the first unfused statement.
+	_, err = ExecBatch(db,
+		"SELECT EXPECTED FROM pv WHERE t >= 5000 AND t <= 5100;"+
+			"SELECT COUNT(-100, 100) FROM pv WHERE t >= 5000 AND t <= 5100",
+		Options{})
+	if !errors.Is(err, probdb.ErrNoRows) {
+		t.Fatalf("err = %v, want ErrNoRows", err)
+	}
+
+	// Aggregates over a raw table fall back and fail like unfused exec.
+	_, err = ExecBatch(db,
+		"SELECT EXPECTED FROM raw_values; SELECT EXPECTED FROM raw_values", Options{})
+	if err == nil {
+		t.Error("aggregate batch over raw table accepted")
+	}
+}

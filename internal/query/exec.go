@@ -62,6 +62,11 @@ type Stats struct {
 	// (for a build: tuples inferred and rows materialised).
 	Groups int `json:"groups_scanned"`
 	Rows   int `json:"rows_scanned"`
+	// Workers and Chunks report how a parallel-capable scan executed:
+	// Workers goroutines over Chunks contiguous group chunks, {1, 1} for the
+	// sequential fast path. Zero (omitted) on paths that never parallelise.
+	Workers int `json:"workers,omitempty"`
+	Chunks  int `json:"chunks,omitempty"`
 	// ParseNs and ExecNs decompose the query's latency.
 	ParseNs int64 `json:"parse_ns,omitempty"`
 	ExecNs  int64 `json:"exec_ns"`
@@ -69,15 +74,18 @@ type Stats struct {
 
 // Options tunes statement execution.
 type Options struct {
-	// Parallelism is the worker count for CREATE VIEW materialisation:
-	// 1 builds sequentially, 0 selects GOMAXPROCS. The materialised rows
-	// are identical at every setting.
+	// Parallelism is the worker count for CREATE VIEW materialisation and
+	// for the chunked read kernels behind EXPECTED, PROB and COUNT:
+	// 1 runs sequentially, 0 selects GOMAXPROCS (see ResolveParallelism).
+	// Results are byte-identical at every setting.
 	Parallelism int
 }
 
-// ResolveParallelism maps the 0 = "all cores" convention of the engine
-// configuration onto an explicit worker count for view.Builder (whose zero
-// value is sequential).
+// ResolveParallelism maps the engine's parallelism knob onto an explicit
+// worker count. This is the one place the 0 = "all cores" convention is
+// defined: 0 resolves to GOMAXPROCS, anything else passes through. The
+// resolved count feeds both view.Builder (whose zero value is sequential)
+// and the probdb scan kernels (which treat <= 1 as sequential).
 func ResolveParallelism(n int) int {
 	if n == 0 {
 		return runtime.GOMAXPROCS(0)
@@ -118,7 +126,7 @@ func ExecStmtWith(db *storage.DB, stmt Stmt, opts Options) (*Result, error) {
 		res, err = execCreateView(db, s, opts)
 	case *SelectStmt:
 		statement = "select"
-		res, err = execSelect(db, s)
+		res, err = execSelect(db, s, opts)
 	case *ShowTablesStmt:
 		statement = "show_tables"
 		res, err = execShowTables(db)
@@ -282,7 +290,7 @@ func execCreateView(db *storage.DB, s *CreateViewStmt, opts Options) (*Result, e
 	return res, nil
 }
 
-func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
+func execSelect(db *storage.DB, s *SelectStmt, opts Options) (*Result, error) {
 	tLo, tHi := int64(math.MinInt64), int64(math.MaxInt64)
 	if s.Where != nil {
 		tLo, tHi = s.Where.Lo, s.Where.Hi
@@ -293,7 +301,7 @@ func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("query: aggregates require a probabilistic view: %w", err)
 		}
-		return execAggregate(pv, s, tLo, tHi)
+		return execAggregate(pv, s, tLo, tHi, opts)
 	}
 
 	// Probabilistic view?
@@ -345,22 +353,27 @@ func execSelect(db *storage.DB, s *SelectStmt) (*Result, error) {
 	return res, nil
 }
 
-// execAggregate evaluates a probabilistic aggregate over a view.
-func execAggregate(pv *storage.ProbTable, s *SelectStmt, tLo, tHi int64) (*Result, error) {
+// execAggregate evaluates a probabilistic aggregate over a view. EXPECTED,
+// PROB and COUNT run on the chunked worker pool (byte-identical to the
+// sequential kernels at any worker count); ANY and ALLIN stay sequential —
+// their early-stop reducers decide the answer mid-scan.
+func execAggregate(pv *storage.ProbTable, s *SelectStmt, tLo, tHi int64, opts Options) (*Result, error) {
+	workers := ResolveParallelism(opts.Parallelism)
 	var res *Result
+	var plan probdb.ScanPlan
 	switch s.Agg.Name {
 	case "EXPECTED":
-		series, err := probdb.ExpectedSeries(pv, tLo, tHi)
+		series, p, err := probdb.ExpectedSeriesPar(pv, tLo, tHi, workers)
 		if err != nil {
 			return nil, err
 		}
-		res = seriesResult("expected", series, s.Limit)
+		res, plan = seriesResult("expected", series, s.Limit), p
 	case "PROB":
-		series, err := probdb.ProbSeries(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
+		series, p, err := probdb.ProbSeriesPar(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi, workers)
 		if err != nil {
 			return nil, err
 		}
-		res = seriesResult("prob", series, s.Limit)
+		res, plan = seriesResult("prob", series, s.Limit), p
 	case "ANY":
 		v, err := probdb.AnyInRange(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
 		if err != nil {
@@ -374,16 +387,17 @@ func execAggregate(pv *storage.ProbTable, s *SelectStmt, tLo, tHi int64) (*Resul
 		}
 		res = scalarResult("allin", v)
 	case "COUNT":
-		v, err := probdb.ExpectedCount(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi)
+		v, p, err := probdb.ExpectedCountPar(pv, tLo, tHi, s.Agg.Lo, s.Agg.Hi, workers)
 		if err != nil {
 			return nil, err
 		}
-		res = scalarResult("count", v)
+		res, plan = scalarResult("count", v), p
 	default:
 		return nil, fmt.Errorf("%w: aggregate %q", ErrUnsupported, s.Agg.Name)
 	}
 	groups, rows := pv.RangeSize(tLo, tHi)
-	res.Stats = Stats{Path: "columnar", Groups: groups, Rows: rows}
+	res.Stats = Stats{Path: "columnar", Groups: groups, Rows: rows,
+		Workers: plan.Workers, Chunks: plan.Chunks}
 	return res, nil
 }
 
@@ -410,7 +424,8 @@ func scalarResult(col string, v float64) *Result {
 }
 
 func execShowTables(db *storage.DB) (*Result, error) {
-	res := &Result{Kind: "rows", Columns: []string{"name", "kind", "rows"}}
+	res := &Result{Kind: "rows", Columns: []string{"name", "kind", "rows"},
+		Stats: Stats{Path: "meta"}}
 	for _, info := range db.List() {
 		res.Rows = append(res.Rows, []string{info.Name, info.Kind, strconv.Itoa(info.Rows)})
 	}

@@ -213,6 +213,28 @@ func (c *Client) Buckets(view string, t int64, buckets []BucketJSON) ([]BucketPr
 
 // Checkpoint asks a durable server to flush its WAL into segment files
 // and trim the replayed prefix.
+// Series fetches the fused multi-statistic endpoint: stats selects a
+// comma-separated subset of "expected,prob,count" ("" selects all three),
+// lo/hi give the value range that prob and count need, and [from, to]
+// bounds the time window.
+func (c *Client) Series(view, stats string, lo, hi float64, from, to int64) (*SeriesResponse, error) {
+	q := url.Values{
+		"lo":   {strconv.FormatFloat(lo, 'g', -1, 64)},
+		"hi":   {strconv.FormatFloat(hi, 'g', -1, 64)},
+		"from": {strconv.FormatInt(from, 10)},
+		"to":   {strconv.FormatInt(to, 10)},
+	}
+	if stats != "" {
+		q.Set("stats", stats)
+	}
+	var out SeriesResponse
+	path := "/views/" + url.PathEscape(view) + "/series?" + q.Encode()
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 func (c *Client) Checkpoint() error {
 	return c.do(http.MethodPost, "/checkpoint", nil, nil)
 }

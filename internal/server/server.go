@@ -116,6 +116,7 @@ func New(engine *core.Engine, cfg Config) *Server {
 	s.handle("DELETE /tables/{table}/stream", s.handleCloseStream)
 	s.handle("POST /query", s.handleQuery)
 	s.handle("GET /views/{view}/rows", s.handleViewRows)
+	s.handle("GET /views/{view}/series", s.handleSeries)
 	s.handle("GET /views/{view}/rangeprob", s.handleRangeProb)
 	s.handle("GET /views/{view}/topk", s.handleTopK)
 	s.handle("POST /views/{view}/buckets", s.handleBuckets)

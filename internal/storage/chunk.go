@@ -1,0 +1,52 @@
+package storage
+
+// Chunk planning for parallel column scans: a kernel that wants to spread a
+// RangeCols span over a worker pool partitions the group index — never the
+// rows of one group — into contiguous, row-balanced chunks. Planning is pure
+// slice arithmetic over the TimeGroup entries the caller already holds under
+// the read lock; it takes no locks and allocates only the plan itself.
+
+// GroupChunk is one contiguous span of a group-index slice, the unit of
+// parallel kernel execution: groups[Lo:Hi], covering Rows view rows.
+type GroupChunk struct {
+	Lo, Hi int // group positions: the chunk is groups[Lo:Hi]
+	Rows   int // rows the span covers (sum of Len over it)
+}
+
+// SpanRows reports how many rows a contiguous group span covers, in O(1):
+// groups partition the row slice back to back, so the row count is the
+// distance from the first offset to the end of the last group.
+func SpanRows(groups []TimeGroup) int {
+	if len(groups) == 0 {
+		return 0
+	}
+	first, last := groups[0], groups[len(groups)-1]
+	return last.Off + last.Len - first.Off
+}
+
+// ChunkGroups partitions a contiguous group span into at most maxChunks
+// chunks balanced by row count, never splitting a group. Every chunk except
+// the last holds at least ceil(rows/maxChunks) rows, which bounds the chunk
+// count by maxChunks; a single giant group therefore yields a single chunk.
+// The chunks concatenate back to [0, len(groups)) in order, which is what
+// lets a parallel scan write disjoint output slots and merge by position.
+func ChunkGroups(groups []TimeGroup, maxChunks int) []GroupChunk {
+	if len(groups) == 0 {
+		return nil
+	}
+	rows := SpanRows(groups)
+	if maxChunks <= 1 || rows == 0 {
+		return []GroupChunk{{Lo: 0, Hi: len(groups), Rows: rows}}
+	}
+	target := (rows + maxChunks - 1) / maxChunks
+	out := make([]GroupChunk, 0, maxChunks)
+	start, acc := 0, 0
+	for i, g := range groups {
+		acc += g.Len
+		if acc >= target || i == len(groups)-1 {
+			out = append(out, GroupChunk{Lo: start, Hi: i + 1, Rows: acc})
+			start, acc = i+1, 0
+		}
+	}
+	return out
+}

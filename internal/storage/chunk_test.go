@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGroups builds a contiguous group index with the given per-group row
+// counts, starting at an arbitrary base offset (chunk planning must not
+// assume the span starts at row 0 — RangeCols hands kernels a mid-table
+// window).
+func groupsWithLens(base int, lens []int) []TimeGroup {
+	out := make([]TimeGroup, len(lens))
+	off := base
+	for i, n := range lens {
+		out[i] = TimeGroup{T: int64(i + 1), Off: off, Len: n}
+		off += n
+	}
+	return out
+}
+
+// checkChunkInvariants verifies the properties every consumer relies on:
+// chunks concatenate to [0, len(groups)) in order, each is non-empty, the
+// per-chunk row counts are exact, and the plan never exceeds maxChunks.
+func checkChunkInvariants(t *testing.T, groups []TimeGroup, maxChunks int) {
+	t.Helper()
+	chunks := ChunkGroups(groups, maxChunks)
+	if len(groups) == 0 {
+		if chunks != nil {
+			t.Fatalf("empty span: got %v, want nil", chunks)
+		}
+		return
+	}
+	if len(chunks) == 0 {
+		t.Fatalf("non-empty span yielded no chunks")
+	}
+	if maxChunks > 1 && len(chunks) > maxChunks {
+		t.Fatalf("%d chunks exceeds maxChunks=%d", len(chunks), maxChunks)
+	}
+	next, total := 0, 0
+	for i, c := range chunks {
+		if c.Lo != next {
+			t.Fatalf("chunk %d starts at %d, want %d (gap or overlap)", i, c.Lo, next)
+		}
+		if c.Hi <= c.Lo {
+			t.Fatalf("chunk %d is empty: [%d, %d)", i, c.Lo, c.Hi)
+		}
+		if got := SpanRows(groups[c.Lo:c.Hi]); got != c.Rows {
+			t.Fatalf("chunk %d reports %d rows, span holds %d", i, c.Rows, got)
+		}
+		next = c.Hi
+		total += c.Rows
+	}
+	if next != len(groups) {
+		t.Fatalf("chunks end at %d, want %d", next, len(groups))
+	}
+	if want := SpanRows(groups); total != want {
+		t.Fatalf("chunk rows sum to %d, span holds %d", total, want)
+	}
+}
+
+func TestChunkGroupsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50)
+		lens := make([]int, n)
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(20)
+		}
+		groups := groupsWithLens(rng.Intn(1000), lens)
+		for _, maxChunks := range []int{0, 1, 2, 3, 7, 16, 100} {
+			checkChunkInvariants(t, groups, maxChunks)
+		}
+	}
+}
+
+func TestChunkGroupsShapes(t *testing.T) {
+	// Uniform rows split evenly.
+	groups := groupsWithLens(0, []int{4, 4, 4, 4, 4, 4, 4, 4})
+	chunks := ChunkGroups(groups, 4)
+	if len(chunks) != 4 {
+		t.Fatalf("uniform 32 rows / 4 chunks: got %d chunks", len(chunks))
+	}
+	for i, c := range chunks {
+		if c.Rows != 8 {
+			t.Fatalf("chunk %d holds %d rows, want 8", i, c.Rows)
+		}
+	}
+
+	// A dominant group absorbs its chunk alone; small groups share.
+	groups = groupsWithLens(0, []int{1, 100, 1, 1})
+	chunks = ChunkGroups(groups, 4)
+	checkChunkInvariants(t, groups, 4)
+	for _, c := range chunks {
+		if c.Lo <= 1 && 1 < c.Hi && c.Hi-c.Lo > 2 {
+			t.Fatalf("dominant group's chunk spans %d groups: %+v", c.Hi-c.Lo, c)
+		}
+	}
+
+	// maxChunks <= 1 is the degenerate single-chunk plan.
+	chunks = ChunkGroups(groups, 1)
+	if len(chunks) != 1 || chunks[0].Lo != 0 || chunks[0].Hi != 4 || chunks[0].Rows != 103 {
+		t.Fatalf("single-chunk plan: %+v", chunks)
+	}
+
+	// One group can never split, whatever the budget.
+	groups = groupsWithLens(7, []int{50})
+	chunks = ChunkGroups(groups, 8)
+	if len(chunks) != 1 || chunks[0].Rows != 50 {
+		t.Fatalf("single group: %+v", chunks)
+	}
+
+	if got := ChunkGroups(nil, 4); got != nil {
+		t.Fatalf("nil span: %v", got)
+	}
+}
+
+func TestSpanRows(t *testing.T) {
+	if got := SpanRows(nil); got != 0 {
+		t.Fatalf("SpanRows(nil) = %d", got)
+	}
+	groups := groupsWithLens(42, []int{3, 1, 5})
+	if got := SpanRows(groups); got != 9 {
+		t.Fatalf("SpanRows = %d, want 9", got)
+	}
+	if got := SpanRows(groups[1:2]); got != 1 {
+		t.Fatalf("SpanRows(mid) = %d, want 1", got)
+	}
+}
